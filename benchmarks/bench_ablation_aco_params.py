@@ -1,0 +1,84 @@
+"""Ablation — ACO parameter sensitivity.
+
+Table II says "multiple values were tested, and the best parameters were
+chosen"; this bench quantifies what the choice trades: colony size and
+iteration count against scheduling time and achieved makespan, plus the
+heuristic/tabu variants discussed in DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_result
+from repro.cloud.simulation import CloudSimulation
+from repro.schedulers import AntColonyScheduler
+from repro.workloads.heterogeneous import heterogeneous_scenario
+
+NUM_CLOUDLETS = 500
+NUM_VMS = 100
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return heterogeneous_scenario(NUM_VMS, NUM_CLOUDLETS, seed=0)
+
+
+@pytest.mark.parametrize("num_ants", [5, 20, 50])
+def test_aco_colony_size(benchmark, scenario, num_ants):
+    def run():
+        return CloudSimulation(
+            scenario, AntColonyScheduler(num_ants=num_ants, max_iterations=3), seed=0
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(benchmark, result)
+    benchmark.extra_info["num_ants"] = num_ants
+
+
+@pytest.mark.parametrize("iterations", [1, 3, 8])
+def test_aco_iterations(benchmark, scenario, iterations):
+    def run():
+        return CloudSimulation(
+            scenario,
+            AntColonyScheduler(num_ants=10, max_iterations=iterations),
+            seed=0,
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(benchmark, result)
+    benchmark.extra_info["iterations"] = iterations
+
+
+@pytest.mark.parametrize(
+    "variant,kwargs",
+    [
+        ("static-eta", {"load_aware": False}),
+        ("load-aware", {"load_aware": True}),
+        ("tabu-pass", {"load_aware": False, "tabu": "pass"}),
+        ("vm-pheromone", {"load_aware": False, "pheromone": "vm"}),
+    ],
+)
+def test_aco_variants(benchmark, scenario, variant, kwargs):
+    def run():
+        return CloudSimulation(
+            scenario,
+            AntColonyScheduler(num_ants=10, max_iterations=3, **kwargs),
+            seed=0,
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(benchmark, result)
+    benchmark.extra_info["variant"] = variant
+
+
+@pytest.mark.parametrize("rho", [0.1, 0.4, 0.9])
+def test_aco_evaporation(benchmark, scenario, rho):
+    def run():
+        return CloudSimulation(
+            scenario, AntColonyScheduler(num_ants=10, max_iterations=3, rho=rho), seed=0
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(benchmark, result)
+    benchmark.extra_info["rho"] = rho

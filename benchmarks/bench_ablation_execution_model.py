@@ -1,0 +1,52 @@
+"""Ablation — space-shared vs time-shared cloudlet execution.
+
+The paper does not state which CloudSim cloudlet scheduler it used; this
+bench quantifies what changes.  Per-VM completion times are identical, so
+the makespan (Fig. 4/6a) is execution-model-invariant — only the per-task
+time distribution (and hence Fig. 6c's imbalance) moves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_result
+from repro.cloud.simulation import CloudSimulation
+from repro.schedulers import RoundRobinScheduler
+from repro.schedulers.aco import AntColonyScheduler
+from repro.workloads.heterogeneous import heterogeneous_scenario
+
+NUM_CLOUDLETS = 400
+NUM_VMS = 50
+
+
+@pytest.mark.parametrize("model", ["space-shared", "time-shared"])
+@pytest.mark.parametrize("name", ["basetest", "antcolony"])
+def test_execution_model(benchmark, model, name):
+    scenario = heterogeneous_scenario(NUM_VMS, NUM_CLOUDLETS, seed=0)
+    scheduler = (
+        RoundRobinScheduler()
+        if name == "basetest"
+        else AntColonyScheduler(num_ants=10, max_iterations=2)
+    )
+
+    def run():
+        return CloudSimulation(
+            scenario, scheduler, seed=0, execution_model=model
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(benchmark, result)
+    benchmark.extra_info["execution_model"] = model
+
+    # Makespan invariance across execution models (same per-VM totals).
+    other = "time-shared" if model == "space-shared" else "space-shared"
+    scheduler2 = (
+        RoundRobinScheduler()
+        if name == "basetest"
+        else AntColonyScheduler(num_ants=10, max_iterations=2)
+    )
+    counterpart = CloudSimulation(
+        scenario, scheduler2, seed=0, execution_model=other
+    ).run()
+    assert result.makespan == pytest.approx(counterpart.makespan, rel=1e-9)

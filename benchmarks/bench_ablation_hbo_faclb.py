@@ -1,0 +1,52 @@
+"""Ablation — HBO load-balance factor and scout rule.
+
+The paper attributes HBO's (mild) balance to "the load balancing factor it
+used"; this bench sweeps ``facLB`` and the scout time bias, exposing the
+cost/makespan/imbalance trade-off that DESIGN.md §5 discusses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_result
+from repro.cloud.simulation import CloudSimulation
+from repro.schedulers import HoneyBeeScheduler
+from repro.workloads.heterogeneous import heterogeneous_scenario
+
+NUM_CLOUDLETS = 800
+NUM_VMS = 100
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return heterogeneous_scenario(NUM_VMS, NUM_CLOUDLETS, seed=0)
+
+
+@pytest.mark.parametrize("faclb", [0.25, 0.5, 0.75, 1.0])
+def test_hbo_load_balance_factor(benchmark, scenario, faclb):
+    def run():
+        return CloudSimulation(
+            scenario, HoneyBeeScheduler(load_balance_factor=faclb), seed=0
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(benchmark, result)
+    benchmark.extra_info["faclb"] = faclb
+
+
+@pytest.mark.parametrize("bias", [0.0, 0.5, 1.0])
+def test_hbo_scout_time_bias(benchmark, scenario, bias):
+    def run():
+        return CloudSimulation(
+            scenario, HoneyBeeScheduler(scout_time_bias=bias), seed=0
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(benchmark, result)
+    benchmark.extra_info["scout_time_bias"] = bias
+    # The completion-greedy scout must not be slower to schedule by much,
+    # and must not worsen the makespan.
+    if bias > 0:
+        plain = CloudSimulation(scenario, HoneyBeeScheduler(), seed=0).run()
+        assert result.makespan <= plain.makespan * 1.05

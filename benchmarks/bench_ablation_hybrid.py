@@ -1,0 +1,65 @@
+"""Ablation — the future-work hybrid scheduler vs its constituent modules.
+
+The paper's conclusion proposes a hybrid that picks a behaviour from system
+conditions; this bench verifies the dispatcher recovers each specialist's
+headline metric on the scenario family that specialist wins.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_result
+from repro.cloud.simulation import CloudSimulation
+from repro.schedulers import (
+    AntColonyScheduler,
+    HoneyBeeScheduler,
+    HybridScheduler,
+    RoundRobinScheduler,
+)
+from repro.workloads.heterogeneous import heterogeneous_scenario
+from repro.workloads.homogeneous import homogeneous_scenario
+
+NUM_CLOUDLETS = 500
+
+
+@pytest.mark.parametrize("objective", ["auto", "performance", "cost", "balance"])
+def test_hybrid_objectives_heterogeneous(benchmark, objective):
+    scenario = heterogeneous_scenario(100, NUM_CLOUDLETS, seed=0)
+    hybrid = HybridScheduler(
+        objective=objective,
+        aco=AntColonyScheduler(num_ants=10, max_iterations=2),
+    )
+
+    def run():
+        return CloudSimulation(scenario, hybrid, seed=0).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(benchmark, result)
+    benchmark.extra_info["objective"] = objective
+    benchmark.extra_info["delegated_to"] = result.info["delegated_to"]
+
+
+def test_hybrid_cost_objective_matches_hbo(benchmark):
+    scenario = heterogeneous_scenario(100, NUM_CLOUDLETS, seed=0)
+
+    def run():
+        return CloudSimulation(scenario, HybridScheduler(objective="cost"), seed=0).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(benchmark, result)
+    hbo = CloudSimulation(scenario, HoneyBeeScheduler(), seed=0).run()
+    assert result.total_cost == pytest.approx(hbo.total_cost)
+
+
+def test_hybrid_auto_on_homogeneous_matches_base_test(benchmark):
+    scenario = homogeneous_scenario(50, NUM_CLOUDLETS, seed=0)
+
+    def run():
+        return CloudSimulation(scenario, HybridScheduler(), seed=0).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(benchmark, result)
+    base = CloudSimulation(scenario, RoundRobinScheduler(), seed=0).run()
+    assert result.makespan == pytest.approx(base.makespan)
+    assert result.info["delegated_to"] == "basetest"

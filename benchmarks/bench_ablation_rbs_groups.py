@@ -1,0 +1,33 @@
+"""Ablation — RBS group count.
+
+The paper blames RBS's curve fluctuations on the random walk lengths; the
+group count controls how much randomness the walk can express.  This bench
+sweeps it and records makespan/imbalance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_result
+from repro.cloud.simulation import CloudSimulation
+from repro.schedulers import RandomBiasedSamplingScheduler
+from repro.workloads.heterogeneous import heterogeneous_scenario
+
+NUM_CLOUDLETS = 800
+NUM_VMS = 100
+
+
+@pytest.mark.parametrize("groups", [1, 2, 4, 8, 16])
+def test_rbs_group_count(benchmark, groups):
+    scenario = heterogeneous_scenario(NUM_VMS, NUM_CLOUDLETS, seed=0)
+
+    def run():
+        return CloudSimulation(
+            scenario, RandomBiasedSamplingScheduler(num_groups=groups), seed=0
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(benchmark, result)
+    benchmark.extra_info["groups"] = groups
+    assert result.makespan > 0

@@ -1,0 +1,75 @@
+"""Substrate benchmarks — DES kernel throughput and fast-path speedup.
+
+Not a paper figure: these quantify the simulator substrate itself (events
+per second through the kernel, event-queue operations, and how much the
+analytic fast path buys on the homogeneous scenario), guarding against
+performance regressions in the engine the whole study stands on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.fast import FastSimulation
+from repro.cloud.simulation import CloudSimulation
+from repro.core.engine import Simulation
+from repro.core.entity import Entity
+from repro.core.eventqueue import EventQueue
+from repro.core.tags import EventTag
+from repro.schedulers import RoundRobinScheduler
+from repro.workloads.heterogeneous import heterogeneous_scenario
+
+
+class PingPong(Entity):
+    """Two of these bounce an event back and forth ``hops`` times."""
+
+    def __init__(self, name: str, hops: int) -> None:
+        super().__init__(name)
+        self.hops = hops
+        self.peer_id = -1
+
+    def process_event(self, event) -> None:
+        if event.data < self.hops:
+            self.send(self.peer_id, 1.0, EventTag.NONE, data=event.data + 1)
+
+
+def test_event_queue_push_pop(benchmark):
+    def run():
+        q = EventQueue()
+        for i in range(10_000):
+            q.push(time=float(i % 97), src=0, dst=0, tag=EventTag.NONE)
+        while q:
+            q.pop()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_kernel_ping_pong_throughput(benchmark):
+    hops = 20_000
+
+    def run():
+        sim = Simulation()
+        a, b = PingPong("a", hops), PingPong("b", hops)
+        sim.register_all([a, b])
+        a.peer_id, b.peer_id = b.id, a.id
+        sim.schedule(delay=0.0, src=-1, dst=a.id, tag=EventTag.NONE, data=0)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["events"] = events
+    assert events == hops + 1
+
+
+@pytest.mark.parametrize("engine", ["des", "fast"])
+def test_pipeline_engine_comparison(benchmark, engine):
+    scenario = heterogeneous_scenario(100, 2000, seed=0)
+
+    def run():
+        cls = CloudSimulation if engine == "des" else FastSimulation
+        return cls(scenario, RoundRobinScheduler(), seed=0).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["events"] = result.events_processed
+    assert result.makespan > 0

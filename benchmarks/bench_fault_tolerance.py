@@ -1,0 +1,45 @@
+"""Extension benchmarks — resilience under VM failures.
+
+Measures makespan degradation and retry volume as VMs are killed
+mid-batch, with the round-robin recovery broker.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_result
+from repro.cloud.faults import VmFailure, run_with_failures
+from repro.schedulers import GreedyMinCompletionScheduler, RoundRobinScheduler
+from repro.workloads.heterogeneous import heterogeneous_scenario
+
+NUM_VMS = 20
+NUM_CLOUDLETS = 300
+
+
+@pytest.mark.parametrize("num_failures", [0, 1, 4, 8])
+def test_failure_cascade_degradation(benchmark, num_failures):
+    scenario = heterogeneous_scenario(NUM_VMS, NUM_CLOUDLETS, seed=0)
+    failures = [VmFailure(i, at_time=2.0 + i) for i in range(num_failures)]
+
+    def run():
+        return run_with_failures(scenario, RoundRobinScheduler(), failures, seed=0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(benchmark, result)
+    benchmark.extra_info["num_failures"] = num_failures
+    benchmark.extra_info["retries"] = result.info["retries"]
+    assert result.num_cloudlets == NUM_CLOUDLETS
+
+
+@pytest.mark.parametrize("scheduler_factory", [RoundRobinScheduler, GreedyMinCompletionScheduler])
+def test_failure_recovery_per_scheduler(benchmark, scheduler_factory):
+    scenario = heterogeneous_scenario(NUM_VMS, NUM_CLOUDLETS, seed=0)
+    failures = [VmFailure(0, at_time=3.0), VmFailure(7, at_time=6.0)]
+
+    def run():
+        return run_with_failures(scenario, scheduler_factory(), failures, seed=0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(benchmark, result)
+    benchmark.extra_info["retries"] = result.info["retries"]

@@ -1,0 +1,52 @@
+"""Fig. 4 — homogeneous simulation time (makespan) per scheduler.
+
+Benchmarks the full pipeline (schedule + analytic execution) on the
+Table III/IV homogeneous scenario at two fleet sizes; ``extra_info``
+records the makespan series the paper plots.  Expectation (Fig. 4): every
+scheduler's makespan equals the Base Test optimum and falls with fleet
+size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_result
+from repro.cloud.fast import FastSimulation
+from repro.schedulers import (
+    AntColonyScheduler,
+    HoneyBeeScheduler,
+    RandomBiasedSamplingScheduler,
+    RoundRobinScheduler,
+)
+from repro.workloads.homogeneous import homogeneous_scenario
+
+NUM_CLOUDLETS = 5_000
+VM_POINTS = (200, 800)
+
+
+def make_scheduler(name: str):
+    return {
+        "basetest": lambda: RoundRobinScheduler(),
+        "antcolony": lambda: AntColonyScheduler(
+            num_ants=5, max_iterations=2, tabu="pass", pheromone="vm"
+        ),
+        "honeybee": lambda: HoneyBeeScheduler(),
+        "rbs": lambda: RandomBiasedSamplingScheduler(),
+    }[name]()
+
+
+@pytest.mark.parametrize("num_vms", VM_POINTS)
+@pytest.mark.parametrize("name", ["basetest", "antcolony", "honeybee", "rbs"])
+def test_fig4_homogeneous_makespan(benchmark, name, num_vms):
+    scenario = homogeneous_scenario(num_vms, NUM_CLOUDLETS, seed=0)
+
+    def run():
+        return FastSimulation(scenario, make_scheduler(name), seed=0).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(benchmark, result)
+    benchmark.extra_info["num_vms"] = num_vms
+    # Fig. 4's claim: convergence to the cyclic optimum.
+    optimum = -(-NUM_CLOUDLETS // num_vms) * 250.0 / 1000.0
+    assert result.makespan <= optimum * 1.1

@@ -1,0 +1,51 @@
+"""Fig. 5 — homogeneous scheduling time per scheduler.
+
+Here the benchmark *timing is the figure's metric*: the wall-clock cost of
+each scheduler's decision on the homogeneous batch.  Expectation (Fig. 5):
+Base Test orders of magnitude below ACO/HBO/RBS.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schedulers import (
+    AntColonyScheduler,
+    HoneyBeeScheduler,
+    RandomBiasedSamplingScheduler,
+    RoundRobinScheduler,
+)
+from repro.schedulers.base import SchedulingContext
+from repro.workloads.homogeneous import homogeneous_scenario
+
+NUM_CLOUDLETS = 5_000
+NUM_VMS = 500
+
+
+@pytest.fixture(scope="module")
+def context():
+    scenario = homogeneous_scenario(NUM_VMS, NUM_CLOUDLETS, seed=0)
+    return SchedulingContext.from_scenario(scenario, seed=0)
+
+
+def make_scheduler(name: str):
+    return {
+        "basetest": lambda: RoundRobinScheduler(),
+        "antcolony": lambda: AntColonyScheduler(
+            num_ants=5, max_iterations=2, tabu="pass", pheromone="vm"
+        ),
+        "honeybee": lambda: HoneyBeeScheduler(),
+        "rbs": lambda: RandomBiasedSamplingScheduler(),
+    }[name]()
+
+
+@pytest.mark.parametrize("name", ["basetest", "antcolony", "honeybee", "rbs"])
+def test_fig5_scheduling_time(benchmark, context, name):
+    scheduler = make_scheduler(name)
+    result = benchmark.pedantic(
+        lambda: scheduler.schedule_checked(context), rounds=3, iterations=1
+    )
+    benchmark.extra_info["scheduler"] = name
+    benchmark.extra_info["num_vms"] = NUM_VMS
+    benchmark.extra_info["num_cloudlets"] = NUM_CLOUDLETS
+    assert result.assignment.shape == (NUM_CLOUDLETS,)

@@ -1,0 +1,46 @@
+"""Fig. 6b — heterogeneous scheduling time per scheduler.
+
+The benchmark timing is the figure's metric.  Expectation:
+Base Test < RBS < HBO < ACO.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schedulers import (
+    AntColonyScheduler,
+    HoneyBeeScheduler,
+    RandomBiasedSamplingScheduler,
+    RoundRobinScheduler,
+)
+from repro.schedulers.base import SchedulingContext
+from repro.workloads.heterogeneous import heterogeneous_scenario
+
+NUM_CLOUDLETS = 800
+NUM_VMS = 450
+
+
+@pytest.fixture(scope="module")
+def context():
+    scenario = heterogeneous_scenario(NUM_VMS, NUM_CLOUDLETS, seed=0)
+    return SchedulingContext.from_scenario(scenario, seed=0)
+
+
+def make_scheduler(name: str):
+    return {
+        "basetest": lambda: RoundRobinScheduler(),
+        "antcolony": lambda: AntColonyScheduler(num_ants=20, max_iterations=3),
+        "honeybee": lambda: HoneyBeeScheduler(),
+        "rbs": lambda: RandomBiasedSamplingScheduler(),
+    }[name]()
+
+
+@pytest.mark.parametrize("name", ["basetest", "rbs", "honeybee", "antcolony"])
+def test_fig6b_scheduling_time(benchmark, context, name):
+    scheduler = make_scheduler(name)
+    result = benchmark.pedantic(
+        lambda: scheduler.schedule_checked(context), rounds=3, iterations=1
+    )
+    benchmark.extra_info["scheduler"] = name
+    assert result.assignment.shape == (NUM_CLOUDLETS,)

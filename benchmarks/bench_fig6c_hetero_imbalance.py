@@ -1,0 +1,48 @@
+"""Fig. 6c — heterogeneous degree of time imbalance per scheduler.
+
+Benchmarks the pipeline and records Eq. 13 per scheduler.  Expectation:
+the fast-VM-seeking metaheuristics (ACO, HBO) sit above the count-spreading
+policies (Base Test, RBS) — see EXPERIMENTS.md for the deviation note on
+the paper's exact internal ordering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_result
+from repro.cloud.simulation import CloudSimulation
+from repro.schedulers import (
+    AntColonyScheduler,
+    HoneyBeeScheduler,
+    RandomBiasedSamplingScheduler,
+    RoundRobinScheduler,
+)
+from repro.workloads.heterogeneous import heterogeneous_scenario
+
+NUM_CLOUDLETS = 800
+NUM_VMS = 150
+
+
+def make_scheduler(name: str):
+    return {
+        "basetest": lambda: RoundRobinScheduler(),
+        "antcolony": lambda: AntColonyScheduler(num_ants=20, max_iterations=3),
+        "honeybee": lambda: HoneyBeeScheduler(),
+        "rbs": lambda: RandomBiasedSamplingScheduler(),
+    }[name]()
+
+
+@pytest.mark.parametrize("name", ["basetest", "antcolony", "honeybee", "rbs"])
+def test_fig6c_time_imbalance(benchmark, name):
+    scenario = heterogeneous_scenario(NUM_VMS, NUM_CLOUDLETS, seed=0)
+
+    def run():
+        return CloudSimulation(scenario, make_scheduler(name), seed=0).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(benchmark, result)
+    assert result.time_imbalance >= 0
+    if name == "antcolony":
+        base = CloudSimulation(scenario, RoundRobinScheduler(), seed=0).run()
+        assert result.time_imbalance > base.time_imbalance

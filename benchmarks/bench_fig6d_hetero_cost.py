@@ -1,0 +1,46 @@
+"""Fig. 6d — heterogeneous processing cost per scheduler.
+
+Benchmarks the pipeline and records the Section VI-C4 processing cost.
+Expectation: HBO strictly cheapest; the other three clustered above it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_result
+from repro.cloud.simulation import CloudSimulation
+from repro.schedulers import (
+    AntColonyScheduler,
+    HoneyBeeScheduler,
+    RandomBiasedSamplingScheduler,
+    RoundRobinScheduler,
+)
+from repro.workloads.heterogeneous import heterogeneous_scenario
+
+NUM_CLOUDLETS = 800
+NUM_VMS = 150
+
+
+def make_scheduler(name: str):
+    return {
+        "basetest": lambda: RoundRobinScheduler(),
+        "antcolony": lambda: AntColonyScheduler(num_ants=20, max_iterations=3),
+        "honeybee": lambda: HoneyBeeScheduler(),
+        "rbs": lambda: RandomBiasedSamplingScheduler(),
+    }[name]()
+
+
+@pytest.mark.parametrize("name", ["basetest", "antcolony", "honeybee", "rbs"])
+def test_fig6d_processing_cost(benchmark, name):
+    scenario = heterogeneous_scenario(NUM_VMS, NUM_CLOUDLETS, seed=0)
+
+    def run():
+        return CloudSimulation(scenario, make_scheduler(name), seed=0).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(benchmark, result)
+    assert result.total_cost > 0
+    if name == "honeybee":
+        base = CloudSimulation(scenario, RoundRobinScheduler(), seed=0).run()
+        assert result.total_cost < base.total_cost

@@ -1,0 +1,73 @@
+"""Extension benchmarks — live migration and runtime consolidation.
+
+Measures the consolidation controller packing a spread fleet at runtime:
+how many hosts stay active, how many migrations it takes, and that
+cloudlet timing is migration-invariant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.broker import DatacenterBroker
+from repro.cloud.cloudlet import Cloudlet
+from repro.cloud.datacenter import Datacenter
+from repro.cloud.host import Host
+from repro.cloud.migration import ConsolidationController
+from repro.cloud.vm import Vm
+from repro.core.engine import Simulation
+
+
+def build(num_hosts: int, num_vms: int, length: float):
+    sim = Simulation()
+    dc = Datacenter(
+        "dc",
+        hosts=[
+            Host(host_id=i, mips_per_pe=2000.0, pes=8, ram=1e6, bw=1e6, storage=1e9)
+            for i in range(num_hosts)
+        ],
+    )
+    sim.register(dc)
+    vms = [Vm(vm_id=i, mips=1000.0) for i in range(num_vms)]
+    cloudlets = [Cloudlet(cloudlet_id=i, length=length) for i in range(num_vms)]
+    broker = DatacenterBroker(
+        "broker",
+        vms=vms,
+        cloudlets=cloudlets,
+        assignment=list(range(num_vms)),
+        vm_placement={i: dc.id for i in range(num_vms)},
+    )
+    sim.register(broker)
+    return sim, dc, broker
+
+
+@pytest.mark.parametrize("num_hosts,num_vms", [(8, 8), (16, 16)])
+def test_runtime_consolidation(benchmark, num_hosts, num_vms):
+    def run():
+        sim, dc, broker = build(num_hosts, num_vms, length=100_000.0)
+        controller = ConsolidationController(
+            "packer", dc, interval=2.0, max_rounds=30, moves_per_round=4
+        )
+        sim.register(controller)
+        sim.run()
+        return dc, broker, controller
+
+    dc, broker, controller = benchmark.pedantic(run, rounds=1, iterations=1)
+    active = sum(1 for h in dc.hosts if h.vm_count > 0)
+    benchmark.extra_info["active_hosts_final"] = active
+    benchmark.extra_info["migrations"] = dc.migrations_completed
+    assert broker.all_finished
+    assert active < num_hosts  # packing happened
+
+
+def test_migration_timing_invariance(benchmark):
+    def run():
+        sim, dc, broker = build(4, 4, length=50_000.0)
+        controller = ConsolidationController("packer", dc, interval=1.0, max_rounds=10)
+        sim.register(controller)
+        sim.run()
+        return [c.finish_time for c in broker.cloudlets]
+
+    finishes = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Post-copy live migration never pauses execution: 50 s exactly.
+    assert all(f == pytest.approx(50.0) for f in finishes)

@@ -1,0 +1,75 @@
+"""Extension benchmarks — online policies under arrivals and SLA outcomes.
+
+Not paper figures: these cover the dynamic-demand extension (DESIGN.md
+"optional/extension features"): online policy throughput under Poisson
+arrivals, and deadline compliance of the EDF scheduler vs the Base Test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_result
+from repro.cloud.online import OnlineCloudSimulation
+from repro.cloud.simulation import CloudSimulation
+from repro.metrics.sla import relative_deadlines, sla_report
+from repro.schedulers import RoundRobinScheduler
+from repro.schedulers.deadline import DeadlineAwareScheduler
+from repro.schedulers.online import (
+    BatchAdapter,
+    OnlineGreedyMCT,
+    OnlineLeastLoaded,
+    OnlineRoundRobin,
+)
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.heterogeneous import heterogeneous_scenario
+
+NUM_VMS = 30
+NUM_CLOUDLETS = 400
+
+
+@pytest.mark.parametrize(
+    "label,policy_factory",
+    [
+        ("roundrobin", OnlineRoundRobin),
+        ("leastloaded", OnlineLeastLoaded),
+        ("greedy-mct", OnlineGreedyMCT),
+        ("batch-adapter", lambda: BatchAdapter(RoundRobinScheduler())),
+    ],
+)
+def test_online_policy_under_poisson(benchmark, label, policy_factory):
+    scenario = heterogeneous_scenario(NUM_VMS, NUM_CLOUDLETS, seed=0)
+
+    def run():
+        return OnlineCloudSimulation(
+            scenario, policy_factory(), arrivals=PoissonArrivals(rate=50.0), seed=0
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(benchmark, result)
+    benchmark.extra_info["policy"] = label
+    assert result.num_cloudlets == NUM_CLOUDLETS
+
+
+@pytest.mark.parametrize("slack", [2.0, 6.0])
+def test_deadline_scheduler_sla(benchmark, slack):
+    scenario = heterogeneous_scenario(NUM_VMS, NUM_CLOUDLETS, seed=0)
+    arr = scenario.arrays()
+    deadlines = relative_deadlines(
+        arr.cloudlet_length, float(arr.vm_mips.mean()), slack_factor=slack
+    )
+
+    def run():
+        return CloudSimulation(
+            scenario, DeadlineAwareScheduler(deadlines=deadlines), seed=0
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(benchmark, result)
+    report = sla_report(result.finish_times, deadlines)
+    benchmark.extra_info["slack"] = slack
+    benchmark.extra_info["violation_rate"] = round(report.violation_rate, 4)
+    benchmark.extra_info["mean_tardiness"] = round(report.mean_tardiness, 4)
+    rr = CloudSimulation(scenario, RoundRobinScheduler(), seed=0).run()
+    rr_report = sla_report(rr.finish_times, deadlines)
+    assert report.mean_tardiness <= rr_report.mean_tardiness

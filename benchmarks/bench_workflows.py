@@ -1,0 +1,58 @@
+"""Extension benchmarks — workflow (DAG) scheduling.
+
+Covers the workflow substrate: HEFT vs cyclic placement on the three DAG
+families, recording makespan/speedup, plus the scaling of the
+dependency-aware broker with DAG size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workflows import (
+    HeftScheduler,
+    RoundRobinWorkflowScheduler,
+    WorkflowSimulation,
+    fork_join_workflow,
+    layered_workflow,
+    random_workflow,
+)
+from repro.workloads.heterogeneous import heterogeneous_scenario
+
+
+@pytest.mark.parametrize(
+    "shape,factory",
+    [
+        ("layered-6x4", lambda: layered_workflow(6, 4, seed=0)),
+        ("forkjoin-16", lambda: fork_join_workflow(16, seed=0)),
+        ("random-50", lambda: random_workflow(50, edge_probability=0.08, seed=0)),
+    ],
+)
+@pytest.mark.parametrize("scheduler_name", ["heft", "workflow-roundrobin"])
+def test_workflow_schedulers(benchmark, shape, factory, scheduler_name):
+    workflow = factory()
+    scenario = heterogeneous_scenario(12, 10, seed=0)
+    scheduler = HeftScheduler() if scheduler_name == "heft" else RoundRobinWorkflowScheduler()
+
+    def run():
+        return WorkflowSimulation(workflow, scenario, scheduler).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["shape"] = shape
+    benchmark.extra_info["scheduler"] = scheduler_name
+    benchmark.extra_info["makespan"] = round(result.makespan, 3)
+    benchmark.extra_info["speedup"] = round(result.speedup, 3)
+    assert result.makespan >= result.critical_path_bound - 1e-9
+
+
+@pytest.mark.parametrize("num_tasks", [50, 200])
+def test_workflow_broker_scaling(benchmark, num_tasks):
+    workflow = random_workflow(num_tasks, edge_probability=0.05, seed=1)
+    scenario = heterogeneous_scenario(16, 10, seed=1)
+
+    def run():
+        return WorkflowSimulation(workflow, scenario, HeftScheduler()).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["num_tasks"] = num_tasks
+    benchmark.extra_info["events"] = result.events_processed

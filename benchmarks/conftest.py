@@ -1,0 +1,41 @@
+"""Shared benchmark fixtures and helpers.
+
+Each ``bench_fig*.py`` file regenerates (a scaled-down cell of) one paper
+figure; the pytest-benchmark timing is the figure's operative computation
+and ``benchmark.extra_info`` carries the figure's metric values so the
+benchmark report doubles as the data series.  The full sweeps (all x-axis
+points, multiple seeds) are produced by ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.simulation import SimulationResult
+
+
+def record_result(benchmark, result: SimulationResult) -> None:
+    """Stash a run's paper metrics on the benchmark record."""
+    benchmark.extra_info["scheduler"] = result.scheduler_name
+    benchmark.extra_info["makespan"] = round(result.makespan, 4)
+    benchmark.extra_info["time_imbalance"] = round(result.time_imbalance, 4)
+    benchmark.extra_info["total_cost"] = round(result.total_cost, 2)
+    benchmark.extra_info["scheduling_time_s"] = round(result.scheduling_time, 6)
+
+
+@pytest.fixture
+def paper_schedulers():
+    """Fresh instances of the four compared schedulers, bench-sized ACO."""
+    from repro.schedulers import (
+        AntColonyScheduler,
+        HoneyBeeScheduler,
+        RandomBiasedSamplingScheduler,
+        RoundRobinScheduler,
+    )
+
+    return {
+        "basetest": RoundRobinScheduler(),
+        "antcolony": AntColonyScheduler(num_ants=20, max_iterations=3),
+        "honeybee": HoneyBeeScheduler(),
+        "rbs": RandomBiasedSamplingScheduler(),
+    }

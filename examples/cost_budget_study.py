@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Cost study: what does a cloud tenant pay under each scheduler?
+
+Motivating workload from the paper's introduction: a tenant submits a
+mixed batch to a provider whose datacenters price memory, storage and
+bandwidth differently (Table VII ranges).  This example
+
+1. sweeps HBO's load-balance factor ``facLB`` to chart the cost-vs-makespan
+   frontier the paper's Section III leaves implicit, and
+2. compares every registered scheduler's cost per finished cloudlet.
+
+Run with::
+
+    python examples/cost_budget_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.tables import format_table
+from repro.cloud.simulation import CloudSimulation
+from repro.schedulers import SCHEDULER_REGISTRY, HoneyBeeScheduler, make_scheduler
+from repro.workloads import heterogeneous_scenario
+
+NUM_VMS = 60
+NUM_CLOUDLETS = 600
+SEED = 7
+
+#: bench-sized overrides for the slow metaheuristics
+LIGHT = {
+    "antcolony": {"num_ants": 10, "max_iterations": 2},
+    "pso": {"num_particles": 15, "max_iterations": 20},
+    "ga": {"population_size": 20, "generations": 20},
+}
+
+
+def faclb_frontier(scenario) -> None:
+    print("== HBO facLB frontier (cost vs makespan trade-off) ==")
+    faclbs = [0.25, 0.4, 0.55, 0.7, 0.85, 1.0]
+    rows = []
+    for faclb in faclbs:
+        result = CloudSimulation(
+            scenario, HoneyBeeScheduler(load_balance_factor=faclb), seed=SEED
+        ).run()
+        rows.append(
+            {
+                "facLB": faclb,
+                "processing_cost": result.total_cost,
+                "makespan_s": result.makespan,
+                "spills": result.info["spills"],
+            }
+        )
+    print(format_table(rows, float_format="{:.2f}"))
+    print()
+    print(
+        ascii_plot(
+            [int(f * 100) for f in faclbs],
+            {
+                "cost": [r["processing_cost"] for r in rows],
+                "makespan x100": [r["makespan_s"] * 100 for r in rows],
+            },
+            title="facLB (%) vs cost and scaled makespan",
+            xlabel="facLB (%)",
+            ylabel="value",
+            height=12,
+        )
+    )
+    print()
+
+
+def all_schedulers_cost(scenario) -> None:
+    print("== Cost per cloudlet for every registered scheduler ==")
+    rows = []
+    for name in sorted(SCHEDULER_REGISTRY):
+        scheduler = make_scheduler(name, **LIGHT.get(name, {}))
+        result = CloudSimulation(scenario, scheduler, seed=SEED).run()
+        rows.append(
+            {
+                "scheduler": name,
+                "cost_per_cloudlet": result.total_cost / result.num_cloudlets,
+                "makespan_s": result.makespan,
+            }
+        )
+    rows.sort(key=lambda r: r["cost_per_cloudlet"])
+    print(format_table(rows, float_format="{:.3f}"))
+
+
+def main() -> None:
+    scenario = heterogeneous_scenario(NUM_VMS, NUM_CLOUDLETS, seed=SEED)
+    faclb_frontier(scenario)
+    all_schedulers_cost(scenario)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Bring-your-own workload: build, persist and replay a synthetic trace.
+
+Shows the extension surface beyond the paper's two setups:
+
+1. a heavy-tailed (Pareto) task mix on a bimodal VM fleet, built with
+   :class:`~repro.workloads.synthetic.SyntheticWorkloadBuilder`;
+2. the scenario frozen to JSON with ``save_scenario`` (diffable, shareable)
+   and reloaded with ``load_scenario``;
+3. schedulers compared on the replayed trace — identical inputs,
+   reproducible outputs.
+
+Run with::
+
+    python examples/custom_workload_trace.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis.tables import format_table
+from repro.cloud.simulation import CloudSimulation
+from repro.schedulers import (
+    AntColonyScheduler,
+    GreedyMinCompletionScheduler,
+    MaxMinScheduler,
+    RoundRobinScheduler,
+)
+from repro.workloads import (
+    DistributionSpec,
+    SyntheticWorkloadBuilder,
+    load_scenario,
+    save_scenario,
+)
+
+
+def build_trace():
+    """Heavy-tailed tasks (many small, few huge) on a two-tier fleet."""
+    return (
+        SyntheticWorkloadBuilder(seed=2026)
+        .vms(
+            32,
+            mips=DistributionSpec("bimodal", {"low": 500.0, "high": 4000.0, "p_high": 0.25}),
+        )
+        .cloudlets(
+            400,
+            length=DistributionSpec("pareto", {"shape": 1.5, "scale": 800.0}),
+            file_size=DistributionSpec("uniform", {"low": 100.0, "high": 600.0}),
+        )
+        .datacenters(3)
+        .build("pareto-two-tier")
+    )
+
+
+def main() -> None:
+    scenario = build_trace()
+    arr = scenario.arrays()
+    print(
+        f"Built trace {scenario.name!r}: {scenario.num_cloudlets} cloudlets "
+        f"(length p50={sorted(arr.cloudlet_length)[len(arr.cloudlet_length) // 2]:.0f} MI, "
+        f"max={arr.cloudlet_length.max():.0f} MI) on {scenario.num_vms} VMs\n"
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "trace.json"
+        save_scenario(scenario, path)
+        print(f"Frozen to {path.name} ({path.stat().st_size} bytes); reloading...\n")
+        replayed = load_scenario(path)
+        assert replayed == scenario
+
+    schedulers = {
+        "basetest": RoundRobinScheduler(),
+        "greedy-mct": GreedyMinCompletionScheduler(),
+        "maxmin": MaxMinScheduler(),
+        "antcolony": AntColonyScheduler(num_ants=15, max_iterations=3),
+    }
+    rows = []
+    for name, scheduler in schedulers.items():
+        result = CloudSimulation(replayed, scheduler, seed=0).run()
+        rows.append(
+            {
+                "scheduler": name,
+                "makespan_s": result.makespan,
+                "avg_wait_s": result.average_waiting_time,
+                "imbalance": result.time_imbalance,
+            }
+        )
+    print(format_table(rows, float_format="{:.2f}"))
+    print(
+        "\nHeavy tails punish count-based spreading: the completion-time-aware"
+        "\nheuristics (greedy-mct, maxmin) should lead on makespan here."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Failure injection: how the batch survives VMs dying mid-run.
+
+Kills an escalating number of VMs partway through a heterogeneous batch and
+reports how the resilient broker's round-robin recovery absorbs the damage:
+makespan degradation, retry volume and the waiting-time cost of recovery.
+
+Run with::
+
+    python examples/fault_tolerance.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.cloud.faults import VmFailure, run_with_failures
+from repro.cloud.simulation import CloudSimulation
+from repro.schedulers import GreedyMinCompletionScheduler, RoundRobinScheduler
+from repro.workloads import heterogeneous_scenario
+
+NUM_VMS = 20
+NUM_CLOUDLETS = 300
+SEED = 3
+
+
+def main() -> None:
+    scenario = heterogeneous_scenario(NUM_VMS, NUM_CLOUDLETS, seed=SEED)
+    baseline = CloudSimulation(scenario, RoundRobinScheduler(), seed=SEED).run()
+    print(
+        f"Baseline (no failures): makespan {baseline.makespan:.1f}s, "
+        f"mean wait {baseline.average_waiting_time:.1f}s\n"
+    )
+
+    rows = []
+    for num_failures in (1, 2, 4, 8):
+        failures = [
+            VmFailure(vm_index=i, at_time=3.0 + 2.0 * i) for i in range(num_failures)
+        ]
+        result = run_with_failures(scenario, RoundRobinScheduler(), failures, seed=SEED)
+        rows.append(
+            {
+                "failed_vms": num_failures,
+                "makespan_s": result.makespan,
+                "vs_baseline": result.makespan / baseline.makespan,
+                "retries": result.info["retries"],
+                "mean_wait_s": result.average_waiting_time,
+            }
+        )
+    print("== Round-robin recovery under escalating failures ==")
+    print(format_table(rows, float_format="{:.2f}"))
+
+    print("\n== Scheduler choice matters for blast radius ==")
+    failures = [VmFailure(0, at_time=3.0), VmFailure(7, at_time=6.0)]
+    rows = []
+    for scheduler in (RoundRobinScheduler(), GreedyMinCompletionScheduler()):
+        result = run_with_failures(scenario, scheduler, failures, seed=SEED)
+        rows.append(
+            {
+                "scheduler": result.scheduler_name,
+                "makespan_s": result.makespan,
+                "retries": result.info["retries"],
+            }
+        )
+    print(format_table(rows, float_format="{:.2f}"))
+    print(
+        "\nGreedy concentrates work on fast VMs, so losing one bounces more"
+        "\ncloudlets — resilience and packing efficiency trade off."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Dynamic demand: online scheduling under Poisson and bursty arrivals.
+
+The paper motivates its schedulers by dynamic demand but evaluates them in
+batch mode; this example exercises the online extension: cloudlets arrive
+over simulated time (steady Poisson stream, then on/off bursts) and each
+policy places them with only the live backlog in hand.
+
+The punchline mirrors the batch study: load-aware policies (least-loaded,
+greedy MCT) absorb bursts gracefully; blind cyclic placement and wave-blind
+batch re-solving pay in flow time.
+
+Run with::
+
+    python examples/online_arrivals.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.cloud.online import OnlineCloudSimulation
+from repro.schedulers import RoundRobinScheduler
+from repro.schedulers.online import (
+    BatchAdapter,
+    OnlineGreedyMCT,
+    OnlineLeastLoaded,
+    OnlineRoundRobin,
+)
+from repro.workloads import BurstyArrivals, PoissonArrivals, heterogeneous_scenario
+
+NUM_VMS = 20
+NUM_CLOUDLETS = 400
+SEED = 5
+
+
+def policies():
+    return {
+        "online-roundrobin": OnlineRoundRobin(),
+        "online-leastloaded": OnlineLeastLoaded(),
+        "online-greedy-mct": OnlineGreedyMCT(),
+        "batch[basetest] per wave": BatchAdapter(RoundRobinScheduler()),
+    }
+
+
+def run_table(arrivals, label: str) -> None:
+    print(f"== {label} ==")
+    scenario = heterogeneous_scenario(NUM_VMS, NUM_CLOUDLETS, seed=SEED)
+    rows = []
+    for name, policy in policies().items():
+        result = OnlineCloudSimulation(scenario, policy, arrivals=arrivals, seed=SEED).run()
+        flow = result.finish_times - result.submission_times
+        rows.append(
+            {
+                "policy": name,
+                "makespan_s": result.makespan,
+                "mean_flow_s": float(flow.mean()),
+                "p95_flow_s": float(np.percentile(flow, 95)),
+                "mean_wait_s": result.average_waiting_time,
+            }
+        )
+    print(format_table(rows, float_format="{:.2f}"))
+    print()
+
+
+def main() -> None:
+    run_table(PoissonArrivals(rate=20.0), "steady Poisson stream (20 cloudlets/s)")
+    run_table(
+        BurstyArrivals(burst_size=80, burst_rate=200.0, period=8.0),
+        "bursty on/off load (80-task bursts every 8 s)",
+    )
+    print(
+        "Load-aware policies keep p95 flow time flat across both regimes;\n"
+        "blind cyclic placement queues up behind slow VMs, and the wave-blind\n"
+        "batch adapter collapses entirely: every 1-cloudlet wave restarts the\n"
+        "cyclic scan at VM 0, so the whole stream piles onto one machine —\n"
+        "exactly the statefulness the paper's batch formulation hides."
+    )
+
+
+if __name__ == "__main__":
+    main()

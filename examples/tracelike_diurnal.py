@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Realistic load: a trace-like workload under a day/night arrival cycle.
+
+Combines three extensions: the heavy-tailed, tiered-fleet trace-like
+scenario (statistics modelled on published cluster-trace analyses), a
+sinusoidally modulated (diurnal) Poisson arrival process sized to a target
+mean utilization, and the online policies — then reports flow-time and
+fairness statistics per policy.
+
+Run with::
+
+    python examples/tracelike_diurnal.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.cloud.online import OnlineCloudSimulation
+from repro.metrics.definitions import jain_fairness_index
+from repro.schedulers.online import (
+    OnlineGreedyMCT,
+    OnlineLeastLoaded,
+    OnlineRoundRobin,
+)
+from repro.workloads import diurnal_arrivals_for, tracelike_scenario
+
+NUM_VMS = 24
+NUM_CLOUDLETS = 600
+SEED = 17
+
+
+def main() -> None:
+    scenario = tracelike_scenario(NUM_VMS, NUM_CLOUDLETS, seed=SEED)
+    arrivals = diurnal_arrivals_for(scenario, mean_utilization=0.55, period=120.0)
+    lengths = scenario.arrays().cloudlet_length
+    print(
+        f"Trace-like batch: {NUM_CLOUDLETS} tasks "
+        f"(p50={np.percentile(lengths, 50):.0f} MI, "
+        f"p99={np.percentile(lengths, 99):.0f} MI) on a "
+        f"{NUM_VMS}-VM tiered fleet; diurnal base rate "
+        f"{arrivals.base_rate:.2f} tasks/s, period {arrivals.period:.0f}s\n"
+    )
+
+    rows = []
+    for policy in (OnlineRoundRobin(), OnlineLeastLoaded(), OnlineGreedyMCT()):
+        result = OnlineCloudSimulation(scenario, policy, arrivals=arrivals, seed=SEED).run()
+        flow = result.finish_times - result.submission_times
+        busy = np.zeros(NUM_VMS)
+        np.add.at(busy, result.assignment, result.exec_times)
+        rows.append(
+            {
+                "policy": result.scheduler_name,
+                "mean_flow_s": float(flow.mean()),
+                "p95_flow_s": float(np.percentile(flow, 95)),
+                "p99_flow_s": float(np.percentile(flow, 99)),
+                "jain_fairness": jain_fairness_index(busy),
+            }
+        )
+    print(format_table(rows, float_format="{:.3f}"))
+    print(
+        "\nHeavy tails make the difference brutal: a single mega-task behind a\n"
+        "blind cyclic pointer stalls a whole VM's queue through the next load\n"
+        "peak, while completion-aware placement isolates it on a fast machine."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Workflow scheduling: HEFT vs cyclic placement on scientific DAG shapes.
+
+The paper's related work is full of *workflow* schedulers (PSO for
+workflows, deadline-constrained workflows); this example runs the workflow
+extension on three canonical DAG shapes — a deep layered pipeline, a wide
+fork-join, and a sparse random DAG — and compares HEFT with a cyclic
+baseline on makespan, speedup over serial execution and proximity to the
+critical-path lower bound.
+
+Run with::
+
+    python examples/workflow_heft.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.workflows import (
+    HeftScheduler,
+    RoundRobinWorkflowScheduler,
+    WorkflowSimulation,
+    fork_join_workflow,
+    layered_workflow,
+    random_workflow,
+)
+from repro.workloads import heterogeneous_scenario
+
+SEED = 11
+
+
+def main() -> None:
+    scenario = heterogeneous_scenario(num_vms=12, num_cloudlets=10, seed=SEED)
+    workflows = {
+        "layered 6x4 (pipeline)": layered_workflow(6, 4, seed=SEED),
+        "fork-join x16": fork_join_workflow(16, seed=SEED),
+        "random n=50 p=0.08": random_workflow(50, edge_probability=0.08, seed=SEED),
+    }
+    rows = []
+    for label, workflow in workflows.items():
+        for scheduler in (RoundRobinWorkflowScheduler(), HeftScheduler()):
+            result = WorkflowSimulation(workflow, scenario, scheduler).run()
+            rows.append(
+                {
+                    "workflow": label,
+                    "scheduler": result.scheduler_name,
+                    "makespan_s": result.makespan,
+                    "speedup": result.speedup,
+                    "bound_efficiency": result.efficiency_vs_bound,
+                    "transfer_s": result.transfer_seconds,
+                }
+            )
+    print(format_table(rows, float_format="{:.2f}"))
+    print(
+        "\nHEFT's rank-and-earliest-finish placement dominates cyclic placement on\n"
+        "every shape; bound_efficiency shows how close each run gets to the\n"
+        "critical-path lower bound (1.0 = optimal)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Result analysis: ASCII rendering, tabulation and paper-shape checks."""
+
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.gantt import gantt_chart
+from repro.analysis.compare import CheckResult, check_figure, paper_shape_checks
+from repro.analysis.queueing import (
+    erlang_c,
+    mm1_mean_sojourn,
+    mm1_mean_wait,
+    mmc_mean_sojourn,
+    mmc_mean_wait,
+)
+from repro.analysis.report_md import (
+    markdown_figure,
+    markdown_report,
+    markdown_table,
+    write_markdown_report,
+)
+from repro.analysis.tables import format_table, write_csv
+
+__all__ = [
+    "ascii_plot",
+    "format_table",
+    "write_csv",
+    "CheckResult",
+    "check_figure",
+    "paper_shape_checks",
+    "markdown_table",
+    "markdown_figure",
+    "markdown_report",
+    "write_markdown_report",
+    "erlang_c",
+    "mm1_mean_sojourn",
+    "mm1_mean_wait",
+    "mmc_mean_sojourn",
+    "mmc_mean_wait",
+    "gantt_chart",
+]

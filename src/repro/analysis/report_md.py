@@ -1,0 +1,102 @@
+"""Markdown report generation.
+
+Turns :class:`~repro.experiments.figures.FigureData` into the
+paper-vs-measured Markdown blocks used in ``EXPERIMENTS.md``, so the
+results document can be regenerated instead of hand-edited:
+
+>>> from repro.experiments.figures import FigureData
+>>> data = FigureData("fig6d", "Processing cost", "VMs", "cost",
+...                   x=[50], series={"honeybee": [48e3], "basetest": [63e3]},
+...                   ci={"honeybee": [0.0], "basetest": [0.0]})
+>>> print(markdown_figure(data).splitlines()[0])
+### fig6d — Processing cost
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.compare import check_figure
+from repro.experiments.figures import FigureData
+
+
+def _format_value(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e5 or abs(value) < 1e-3:
+        return f"{value:.3e}"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:.3g}"
+
+
+def markdown_table(data: FigureData, max_rows: int | None = None) -> str:
+    """GitHub-flavoured table of a figure's series (one row per x)."""
+    names = list(data.series)
+    header = f"| {data.x_key} | " + " | ".join(names) + " |"
+    sep = "|" + "---|" * (len(names) + 1)
+    lines = [header, sep]
+    rows = list(enumerate(data.x))
+    if max_rows is not None and len(rows) > max_rows:
+        # Keep endpoints plus evenly spaced interior rows.
+        step = max(1, len(rows) // max_rows)
+        keep = sorted({0, len(rows) - 1, *range(0, len(rows), step)})
+        rows = [rows[i] for i in keep]
+    for i, xv in rows:
+        cells = " | ".join(_format_value(data.series[name][i]) for name in names)
+        lines.append(f"| {xv} | {cells} |")
+    return "\n".join(lines)
+
+
+def markdown_checks(data: FigureData) -> str:
+    """Bullet list of the figure's shape-check outcomes (empty if none)."""
+    checks = check_figure(data)
+    if not checks:
+        return ""
+    return "\n".join(
+        f"- **{'PASS' if c.passed else 'FAIL'}** `{c.name}` — {c.detail}" for c in checks
+    )
+
+
+def markdown_figure(data: FigureData, max_rows: int | None = 8) -> str:
+    """One complete Markdown section for a figure."""
+    parts = [f"### {data.experiment_id} — {data.title}", ""]
+    parts.append(markdown_table(data, max_rows=max_rows))
+    checks = markdown_checks(data)
+    if checks:
+        parts.extend(["", checks])
+    return "\n".join(parts)
+
+
+def markdown_report(
+    figures: Iterable[FigureData],
+    title: str = "Measured results",
+    preamble: str = "",
+) -> str:
+    """A full Markdown document covering several figures."""
+    parts = [f"# {title}", ""]
+    if preamble:
+        parts.extend([preamble, ""])
+    for data in figures:
+        parts.extend([markdown_figure(data), ""])
+    return "\n".join(parts).rstrip() + "\n"
+
+
+def write_markdown_report(
+    figures: Iterable[FigureData], path: str | Path, **kwargs
+) -> Path:
+    """Write :func:`markdown_report` output to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(markdown_report(figures, **kwargs))
+    return path
+
+
+__all__ = [
+    "markdown_table",
+    "markdown_checks",
+    "markdown_figure",
+    "markdown_report",
+    "write_markdown_report",
+]

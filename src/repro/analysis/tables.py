@@ -1,0 +1,68 @@
+"""Tabular output: aligned text tables and CSV export."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    float_format: str = "{:.6g}",
+) -> str:
+    """Render dict rows as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        Sequence of mappings; missing keys render blank.
+    columns:
+        Column order; defaults to the keys of the first row.
+    """
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return float_format.format(value)
+        if value is None:
+            return ""
+        return str(value)
+
+    rendered = [[fmt(row.get(c)) for c in columns] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(columns)
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = ["  ".join(cell.ljust(w) for cell, w in zip(r, widths)) for r in rendered]
+    return "\n".join([header, sep, *body])
+
+
+def write_csv(
+    rows: Sequence[Mapping[str, object]],
+    path: str | Path,
+    columns: Sequence[str] | None = None,
+) -> Path:
+    """Write dict rows to ``path`` as CSV; returns the path."""
+    if not rows:
+        raise ValueError("cannot write an empty CSV")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if columns is None:
+        columns = list(rows[0].keys())
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+__all__ = ["format_table", "write_csv"]

@@ -1,0 +1,101 @@
+"""CloudSim-equivalent cloud model.
+
+Entities and value objects modelling an IaaS cloud: datacenters that own
+hosts, hosts that run virtual machines, virtual machines that execute
+cloudlets (tasks), and a broker that drives VM creation and cloudlet
+submission.  The execution semantics follow CloudSim 3.x:
+
+* a cloudlet of length ``L`` MI on a PE of capacity ``mips`` takes
+  ``L / mips`` seconds of simulated time;
+* a **space-shared** cloudlet scheduler runs at most ``pes`` cloudlets at
+  once and queues the rest FIFO;
+* a **time-shared** cloudlet scheduler divides the VM's total capacity
+  equally among all resident cloudlets (capped at one PE per cloudlet for
+  single-PE cloudlets).
+"""
+
+from repro.cloud.broker import DatacenterBroker
+from repro.cloud.characteristics import DatacenterCharacteristics
+from repro.cloud.cloudlet import Cloudlet, CloudletStatus
+from repro.cloud.cloudlet_scheduler import (
+    CloudletSchedulerSpaceShared,
+    CloudletSchedulerTimeShared,
+)
+from repro.cloud.consolidation import (
+    PlacementEnergyReport,
+    compare_placement_policies,
+    placement_energy,
+)
+from repro.cloud.datacenter import Datacenter
+from repro.cloud.fast import FastSimulation
+from repro.cloud.faults import (
+    FaultInjector,
+    ResilientBroker,
+    VmFailure,
+    run_with_failures,
+)
+from repro.cloud.host import Host
+from repro.cloud.migration import ConsolidationController
+from repro.cloud.online import OnlineBroker, OnlineCloudSimulation
+from repro.cloud.power import (
+    PowerModel,
+    PowerModelLinear,
+    PowerModelSqrt,
+    batch_energy,
+    energy_of_result,
+)
+from repro.cloud.simulation import CloudSimulation, SimulationResult, quick_run
+from repro.cloud.topology import (
+    DelayMatrixTopology,
+    GraphTopology,
+    NetworkTopology,
+    ZeroLatencyTopology,
+)
+from repro.cloud.vm import Vm
+from repro.cloud.vm_allocation import (
+    VmAllocationConsolidating,
+    VmAllocationFirstFit,
+    VmAllocationLeastUsed,
+    VmAllocationPolicy,
+    VmAllocationRoundRobin,
+)
+
+__all__ = [
+    "Cloudlet",
+    "CloudletStatus",
+    "Vm",
+    "Host",
+    "Datacenter",
+    "DatacenterBroker",
+    "DatacenterCharacteristics",
+    "CloudletSchedulerSpaceShared",
+    "CloudletSchedulerTimeShared",
+    "VmAllocationPolicy",
+    "VmAllocationFirstFit",
+    "VmAllocationLeastUsed",
+    "VmAllocationRoundRobin",
+    "VmAllocationConsolidating",
+    "NetworkTopology",
+    "ZeroLatencyTopology",
+    "DelayMatrixTopology",
+    "GraphTopology",
+    "CloudSimulation",
+    "SimulationResult",
+    "FastSimulation",
+    "quick_run",
+    "OnlineBroker",
+    "OnlineCloudSimulation",
+    "PowerModel",
+    "PowerModelLinear",
+    "PowerModelSqrt",
+    "batch_energy",
+    "energy_of_result",
+    "VmFailure",
+    "FaultInjector",
+    "ResilientBroker",
+    "run_with_failures",
+    "PlacementEnergyReport",
+    "placement_energy",
+    "compare_placement_policies",
+    "ConsolidationController",
+]

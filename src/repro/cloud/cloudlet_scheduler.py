@@ -1,0 +1,232 @@
+"""Per-VM cloudlet execution models.
+
+Two policies, matching CloudSim semantics:
+
+* :class:`CloudletSchedulerSpaceShared` — at most ``pes`` cloudlets run at a
+  time, each pinned to one PE at full per-PE MIPS; the rest wait FIFO.
+* :class:`CloudletSchedulerTimeShared` — every resident cloudlet runs
+  immediately; the VM's total capacity is divided equally, with each
+  single-PE cloudlet capped at one PE's MIPS.
+
+The datacenter drives a scheduler through two calls:
+
+* :meth:`CloudletScheduler.advance_to` — integrate progress up to ``now``
+  and return cloudlets that finished (with exact finish timestamps);
+* :meth:`CloudletScheduler.next_completion_time` — the next instant at
+  which a completion will occur, used to schedule the datacenter's wake-up
+  event.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+import math
+from collections import deque
+from typing import Iterable
+
+from repro.cloud.cloudlet import Cloudlet
+
+_INF = math.inf
+
+
+class CloudletScheduler(abc.ABC):
+    """Abstract per-VM execution model."""
+
+    def __init__(self) -> None:
+        self._mips = 0.0
+        self._pes = 0
+        self._bound = False
+
+    def bind(self, mips: float, pes: int) -> None:
+        """Attach the scheduler to a VM's capacity.  Called by ``Vm``."""
+        if self._bound:
+            raise RuntimeError("cloudlet scheduler is already bound to a VM")
+        if mips <= 0 or pes < 1:
+            raise ValueError("scheduler requires positive mips and pes >= 1")
+        self._mips = float(mips)
+        self._pes = int(pes)
+        self._bound = True
+
+    @property
+    def mips(self) -> float:
+        return self._mips
+
+    @property
+    def pes(self) -> int:
+        return self._pes
+
+    def _require_bound(self) -> None:
+        if not self._bound:
+            raise RuntimeError("cloudlet scheduler is not bound to a VM")
+
+    # -- interface -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def submit(self, cloudlet: Cloudlet, now: float) -> None:
+        """Accept a cloudlet at time ``now``."""
+
+    @abc.abstractmethod
+    def advance_to(self, now: float) -> list[Cloudlet]:
+        """Progress execution up to ``now``; return cloudlets finished by then.
+
+        Finished cloudlets carry exact ``finish_time`` stamps, which may be
+        strictly earlier than ``now``.
+        """
+
+    @abc.abstractmethod
+    def next_completion_time(self) -> float:
+        """Absolute time of the next completion, or ``inf`` if idle."""
+
+    @abc.abstractmethod
+    def resident_cloudlets(self) -> Iterable[Cloudlet]:
+        """Cloudlets currently queued or running."""
+
+    @property
+    @abc.abstractmethod
+    def busy(self) -> bool:
+        """True while any cloudlet is queued or running."""
+
+
+class CloudletSchedulerSpaceShared(CloudletScheduler):
+    """FIFO space-shared execution: one cloudlet per PE, full MIPS each.
+
+    Because running cloudlets execute at a constant rate, completion times
+    are exact; the scheduler keeps a heap of ``(finish_time, cloudlet)``
+    plus a FIFO queue of waiting cloudlets.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._running: list[tuple[float, int, Cloudlet]] = []  # heap
+        self._queue: deque[Cloudlet] = deque()
+        self._tick = 0  # heap tie-breaker
+
+    def submit(self, cloudlet: Cloudlet, now: float) -> None:
+        self._require_bound()
+        if cloudlet.pes > self._pes:
+            raise ValueError(
+                f"cloudlet {cloudlet.cloudlet_id} needs {cloudlet.pes} PEs, "
+                f"VM has {self._pes}"
+            )
+        if len(self._running) + cloudlet.pes <= self._pes:
+            self._start(cloudlet, now)
+        else:
+            self._queue.append(cloudlet)
+
+    def _start(self, cloudlet: Cloudlet, time: float) -> None:
+        cloudlet.mark_running(time)
+        run_time = cloudlet.remaining_length / self._mips
+        self._tick += 1
+        heapq.heappush(self._running, (time + run_time, self._tick, cloudlet))
+
+    def advance_to(self, now: float) -> list[Cloudlet]:
+        self._require_bound()
+        finished: list[Cloudlet] = []
+        # Completions free PEs which admit queued cloudlets whose own
+        # completions may also fall before `now`; process chronologically.
+        while self._running and self._running[0][0] <= now + 1e-12:
+            finish_time, _, cloudlet = heapq.heappop(self._running)
+            cloudlet.mark_finished(finish_time)
+            finished.append(cloudlet)
+            if self._queue:
+                self._start(self._queue.popleft(), finish_time)
+        return finished
+
+    def next_completion_time(self) -> float:
+        return self._running[0][0] if self._running else _INF
+
+    def resident_cloudlets(self) -> Iterable[Cloudlet]:
+        for _, _, cloudlet in self._running:
+            yield cloudlet
+        yield from self._queue
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._running or self._queue)
+
+
+class CloudletSchedulerTimeShared(CloudletScheduler):
+    """Processor-sharing execution.
+
+    All resident cloudlets progress simultaneously.  With ``k`` resident
+    single-PE cloudlets on a VM of total capacity ``mips * pes``, each
+    receives ``min(mips, mips * pes / k)`` MIPS.  Rates change only when the
+    population changes, so progress is integrated piecewise-linearly.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._resident: list[Cloudlet] = []
+        self._last_update = 0.0
+
+    def _share(self) -> float:
+        """Per-cloudlet MIPS at the current population."""
+        k = len(self._resident)
+        if k == 0:
+            return 0.0
+        return min(self._mips, self._mips * self._pes / k)
+
+    def submit(self, cloudlet: Cloudlet, now: float) -> None:
+        self._require_bound()
+        if cloudlet.pes > self._pes:
+            raise ValueError(
+                f"cloudlet {cloudlet.cloudlet_id} needs {cloudlet.pes} PEs, "
+                f"VM has {self._pes}"
+            )
+        self._integrate_to(now)
+        cloudlet.mark_running(now)
+        self._resident.append(cloudlet)
+
+    def _integrate_to(self, now: float) -> None:
+        """Burn down remaining lengths between the last update and ``now``."""
+        dt = now - self._last_update
+        if dt > 0 and self._resident:
+            rate = self._share()
+            for cloudlet in self._resident:
+                cloudlet.remaining_length = max(0.0, cloudlet.remaining_length - rate * dt)
+        self._last_update = max(self._last_update, now)
+
+    def advance_to(self, now: float) -> list[Cloudlet]:
+        self._require_bound()
+        finished: list[Cloudlet] = []
+        # Population changes at each completion change the share; walk
+        # completion-by-completion until `now`.
+        while self._resident:
+            rate = self._share()
+            min_remaining = min(c.remaining_length for c in self._resident)
+            t_next = self._last_update + min_remaining / rate
+            if t_next > now + 1e-12:
+                break
+            self._integrate_to(t_next)
+            still: list[Cloudlet] = []
+            for cloudlet in self._resident:
+                if cloudlet.remaining_length <= 1e-9:
+                    cloudlet.mark_finished(t_next)
+                    finished.append(cloudlet)
+                else:
+                    still.append(cloudlet)
+            self._resident = still
+        self._integrate_to(now)
+        return finished
+
+    def next_completion_time(self) -> float:
+        if not self._resident:
+            return _INF
+        rate = self._share()
+        min_remaining = min(c.remaining_length for c in self._resident)
+        return self._last_update + min_remaining / rate
+
+    def resident_cloudlets(self) -> Iterable[Cloudlet]:
+        return iter(self._resident)
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._resident)
+
+
+__all__ = [
+    "CloudletScheduler",
+    "CloudletSchedulerSpaceShared",
+    "CloudletSchedulerTimeShared",
+]

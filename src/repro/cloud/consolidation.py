@@ -1,0 +1,140 @@
+"""Host-level placement and consolidation energy analysis.
+
+The VM-level energy model (:mod:`repro.cloud.power`) treats each VM as its
+own power domain; real fleets pay per *host*, which makes VM placement an
+energy decision: packing VMs onto fewer hosts (``VmAllocationConsolidating``)
+strands less idle power than spreading them (CloudSim-simple /
+``VmAllocationLeastUsed``).
+
+This module quantifies that: given a finished batch and a placement policy,
+it synthesizes the host layout, replays the placement, and integrates each
+host's power over the batch horizon::
+
+    E_host = idle_watts * makespan
+           + (peak_watts - idle_watts) * sum_vm busy_seconds(vm) / host_pes
+
+i.e. a host draws idle power for the whole horizon and the dynamic part in
+proportion to how many of its PEs are actually computing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.host import Host
+from repro.cloud.power import PowerModel, PowerModelLinear, vm_busy_times
+from repro.cloud.simulation import SimulationResult, build_hosts_for_datacenter
+from repro.cloud.vm_allocation import VmAllocationPolicy
+from repro.workloads.spec import ScenarioSpec
+
+
+@dataclass(frozen=True)
+class PlacementEnergyReport:
+    """Host-level energy outcome of one placement."""
+
+    policy_name: str
+    total_hosts: int
+    active_hosts: int
+    #: joules over the batch horizon, summed across active hosts.
+    energy_joules: float
+    #: vm index -> (datacenter index, host id); -1 ids never occur.
+    vm_host: tuple[tuple[int, int], ...]
+
+    @property
+    def idle_host_count(self) -> int:
+        return self.total_hosts - self.active_hosts
+
+
+def place_vms(
+    scenario: ScenarioSpec, policy: VmAllocationPolicy
+) -> tuple[list[list[Host]], list[tuple[int, int]]]:
+    """Synthesize hosts per datacenter and place every VM with ``policy``.
+
+    Returns ``(hosts per datacenter, vm -> (dc, host id) map)``.
+
+    Raises
+    ------
+    RuntimeError
+        If the policy cannot place a VM (host sizing in the scenario specs
+        always admits a feasible placement, so this indicates a broken
+        policy).
+    """
+    hosts_per_dc: list[list[Host]] = [
+        build_hosts_for_datacenter(scenario, dc) for dc in range(scenario.num_datacenters)
+    ]
+    vm_host: list[tuple[int, int]] = []
+    for vm_idx, spec in enumerate(scenario.vms):
+        dc = scenario.vm_datacenter[vm_idx]
+        vm = spec.build(vm_id=vm_idx)
+        if not policy.allocate(hosts_per_dc[dc], vm):
+            raise RuntimeError(
+                f"policy {type(policy).__name__} failed to place vm {vm_idx} "
+                f"in datacenter {dc}"
+            )
+        assert vm.host is not None
+        vm_host.append((dc, vm.host.host_id))
+    return hosts_per_dc, vm_host
+
+
+def placement_energy(
+    scenario: ScenarioSpec,
+    result: SimulationResult,
+    policy: VmAllocationPolicy,
+    power_model: PowerModel | None = None,
+) -> PlacementEnergyReport:
+    """Host-level energy of executing ``result``'s batch under ``policy``."""
+    model = power_model or PowerModelLinear()
+    hosts_per_dc, vm_host = place_vms(scenario, policy)
+    busy = vm_busy_times(scenario, result.assignment, result.exec_times)
+    horizon = result.makespan
+    if horizon <= 0:
+        raise ValueError("result has a non-positive makespan")
+
+    # Aggregate busy PE-seconds per (dc, host).
+    host_busy: dict[tuple[int, int], float] = {}
+    for vm_idx, key in enumerate(vm_host):
+        host_busy[key] = host_busy.get(key, 0.0) + float(busy[vm_idx])
+
+    idle = model.power(0.0)
+    peak = model.power(1.0)
+    total_hosts = sum(len(hosts) for hosts in hosts_per_dc)
+    energy = 0.0
+    active = 0
+    for dc, hosts in enumerate(hosts_per_dc):
+        for host in hosts:
+            if host.vm_count == 0:
+                continue  # powered off
+            active += 1
+            pe_seconds = host_busy.get((dc, host.host_id), 0.0)
+            mean_util = min(1.0, pe_seconds / (host.pes * horizon))
+            energy += horizon * (idle + (peak - idle) * mean_util)
+    return PlacementEnergyReport(
+        policy_name=type(policy).__name__,
+        total_hosts=total_hosts,
+        active_hosts=active,
+        energy_joules=float(energy),
+        vm_host=tuple(vm_host),
+    )
+
+
+def compare_placement_policies(
+    scenario: ScenarioSpec,
+    result: SimulationResult,
+    policies: dict[str, VmAllocationPolicy],
+    power_model: PowerModel | None = None,
+) -> dict[str, PlacementEnergyReport]:
+    """Energy report per named policy for the same finished batch."""
+    return {
+        name: placement_energy(scenario, result, policy, power_model)
+        for name, policy in policies.items()
+    }
+
+
+__all__ = [
+    "PlacementEnergyReport",
+    "place_vms",
+    "placement_energy",
+    "compare_placement_policies",
+]

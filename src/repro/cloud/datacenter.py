@@ -1,0 +1,273 @@
+"""The datacenter entity.
+
+Handles the CloudSim datacenter protocol:
+
+* ``VM_CREATE`` — place the VM via the allocation policy, reply with
+  ``VM_CREATE_ACK``;
+* ``CLOUDLET_SUBMIT`` — hand the cloudlet to the target VM's cloudlet
+  scheduler and (re)arm the progress-update timer;
+* ``VM_DATACENTER_EVENT`` — integrate the affected VM schedulers up to
+  *now*, return finished cloudlets to their broker (``CLOUDLET_RETURN``)
+  and arm the next wake-up at the earliest predicted completion.
+
+Scalability: the datacenter keeps a lazy heap of ``(next completion time,
+vm_id)`` entries so each submission and each completion costs O(log #VMs)
+rather than a scan of the fleet; stale heap entries (a VM whose horizon
+moved because of later submissions) are skipped on pop.  Exactly one
+kernel wake-up event is outstanding at any time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Sequence
+
+from repro.cloud.characteristics import DatacenterCharacteristics
+from repro.cloud.cloudlet import Cloudlet, CloudletStatus
+from repro.cloud.host import Host
+from repro.cloud.vm import Vm
+from repro.cloud.vm_allocation import VmAllocationLeastUsed, VmAllocationPolicy
+from repro.core.entity import Entity
+from repro.core.eventqueue import Event
+from repro.core.tags import EventTag
+
+_EPS = 1e-9
+
+
+class Datacenter(Entity):
+    """A datacenter: hosts + allocation policy + pricing.
+
+    Parameters
+    ----------
+    name:
+        Entity name (unique per simulation).
+    hosts:
+        Physical machines owned by this datacenter.
+    characteristics:
+        Pricing and descriptive metadata.
+    vm_allocation_policy:
+        VM→host placement policy (default: CloudSim-simple / least-used).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        hosts: Sequence[Host],
+        characteristics: DatacenterCharacteristics | None = None,
+        vm_allocation_policy: VmAllocationPolicy | None = None,
+    ) -> None:
+        super().__init__(name)
+        if not hosts:
+            raise ValueError("datacenter requires at least one host")
+        self.hosts = list(hosts)
+        self.characteristics = characteristics or DatacenterCharacteristics()
+        self.vm_allocation_policy = vm_allocation_policy or VmAllocationLeastUsed()
+        self._vms: dict[int, Vm] = {}
+        #: broker entity id per vm_id — completions are returned here.
+        self._vm_owner: dict[int, int] = {}
+        #: (next completion time, vm_id); lazily cleaned.
+        self._completion_heap: list[tuple[float, int]] = []
+        self._pending_update: Event | None = None
+        #: running total of the Fig. 6d processing-cost metric.
+        self.accumulated_cost = 0.0
+        #: cloudlets finished in this datacenter.
+        self.finished_count = 0
+        #: MB/s available to live-migration copy phases.
+        self.migration_bandwidth = 1000.0
+        self._migrating: set[int] = set()
+        self.migrations_completed = 0
+        self.migrations_rejected = 0
+
+    # -- event dispatch --------------------------------------------------------
+
+    def process_event(self, event: Event) -> None:
+        if event.tag is EventTag.VM_CREATE:
+            self._process_vm_create(event)
+        elif event.tag is EventTag.VM_DESTROY:
+            self._process_vm_destroy(event)
+        elif event.tag is EventTag.VM_FAILURE:
+            self._process_vm_failure(event)
+        elif event.tag is EventTag.VM_MIGRATE:
+            self._process_vm_migrate(event)
+        elif event.tag is EventTag.VM_MIGRATION_COMPLETE:
+            self._process_migration_complete(event)
+        elif event.tag is EventTag.CLOUDLET_SUBMIT:
+            self._process_cloudlet_submit(event)
+        elif event.tag is EventTag.VM_DATACENTER_EVENT:
+            self._pending_update = None
+            self._process_completions()
+        elif event.tag in (EventTag.NONE, EventTag.END_OF_SIMULATION):
+            pass
+        else:
+            raise ValueError(f"{self.name}: unexpected event tag {event.tag!r}")
+
+    # -- VM lifecycle ------------------------------------------------------------
+
+    def _process_vm_create(self, event: Event) -> None:
+        vm: Vm = event.data
+        success = self.vm_allocation_policy.allocate(self.hosts, vm)
+        if success:
+            vm.datacenter_id = self.id
+            self._vms[vm.vm_id] = vm
+            self._vm_owner[vm.vm_id] = event.src
+        self.send_now(event.src, EventTag.VM_CREATE_ACK, data=(vm, success))
+
+    def _process_vm_destroy(self, event: Event) -> None:
+        vm: Vm = event.data
+        stored = self._vms.pop(vm.vm_id, None)
+        if stored is None:
+            raise ValueError(f"{self.name}: vm {vm.vm_id} is not hosted here")
+        self._vm_owner.pop(vm.vm_id, None)
+        if stored.host is not None:
+            stored.host.destroy_vm(stored)
+
+    # -- live migration ---------------------------------------------------------
+
+    def _process_vm_migrate(self, event: Event) -> None:
+        """Start a live migration: copy phase runs while the VM executes.
+
+        The copy takes ``vm.ram / migration_bandwidth`` simulated seconds;
+        resource accounting moves to the target host on completion (the
+        post-copy model: execution is never paused, which also means
+        cloudlet timings are unaffected).
+        """
+        vm_id, host_id = event.data
+        vm = self._vms.get(vm_id)
+        if vm is None:
+            raise ValueError(f"{self.name}: cannot migrate unknown vm {vm_id}")
+        if not 0 <= host_id < len(self.hosts):
+            raise ValueError(f"{self.name}: unknown target host {host_id}")
+        if vm_id in self._migrating:
+            self.migrations_rejected += 1
+            return
+        target = self.hosts[host_id]
+        if vm.host is target or not target.is_suitable_for(vm):
+            self.migrations_rejected += 1
+            return
+        self._migrating.add(vm_id)
+        delay = vm.ram / self.migration_bandwidth
+        self.schedule_self(
+            delay, EventTag.VM_MIGRATION_COMPLETE, data=(vm_id, host_id)
+        )
+
+    def _process_migration_complete(self, event: Event) -> None:
+        vm_id, host_id = event.data
+        self._migrating.discard(vm_id)
+        vm = self._vms.get(vm_id)
+        if vm is None:
+            return  # VM failed mid-migration; nothing to move
+        target = self.hosts[host_id]
+        # The target may have filled during the copy phase; abort then.
+        if not target.is_suitable_for(vm):
+            self.migrations_rejected += 1
+            return
+        if vm.host is not None:
+            vm.host.destroy_vm(vm)
+        if not target.create_vm(vm):  # pragma: no cover - suitability checked
+            raise RuntimeError(f"{self.name}: migration landing failed for vm {vm_id}")
+        self.migrations_completed += 1
+
+    def _process_vm_failure(self, event: Event) -> None:
+        """Crash a VM: completed work is credited, in-flight work bounces.
+
+        Cloudlets whose exact completion instants precede the failure are
+        returned as successes; everything still resident is reset (partial
+        progress lost) and bounced to the owning broker with ``FAILED``
+        status so a resilient broker can resubmit it.
+        """
+        vm_id: int = event.data
+        vm = self._vms.pop(vm_id, None)
+        if vm is None:
+            raise ValueError(f"{self.name}: cannot fail unknown vm {vm_id}")
+        owner = self._vm_owner.pop(vm_id)
+        scheduler = vm.cloudlet_scheduler
+        for cloudlet in scheduler.advance_to(self.now):
+            self._account_finished(cloudlet, vm)
+            self.send_now(owner, EventTag.CLOUDLET_RETURN, data=cloudlet)
+        for cloudlet in list(scheduler.resident_cloudlets()):
+            cloudlet.reset_for_retry()
+            cloudlet.status = CloudletStatus.FAILED
+            self.send_now(owner, EventTag.CLOUDLET_RETURN, data=cloudlet)
+        if vm.host is not None:
+            vm.host.destroy_vm(vm)
+        self._arm_next()
+
+    # -- cloudlet execution ---------------------------------------------------------
+
+    def _process_cloudlet_submit(self, event: Event) -> None:
+        cloudlet: Cloudlet = event.data
+        vm = self._vms.get(cloudlet.vm_id)
+        if vm is None:
+            cloudlet.status = CloudletStatus.FAILED
+            self.send_now(event.src, EventTag.CLOUDLET_RETURN, data=cloudlet)
+            return
+        cloudlet.mark_submitted(self.now, vm.vm_id, self.id)
+        vm.cloudlet_scheduler.submit(cloudlet, self.now)
+        self._push_horizon(vm)
+        self._arm_next()
+
+    def _process_completions(self) -> None:
+        """Advance VMs whose completion horizon has been reached."""
+        now = self.now
+        heap = self._completion_heap
+        while heap and heap[0][0] <= now + _EPS:
+            _, vm_id = heapq.heappop(heap)
+            vm = self._vms.get(vm_id)
+            if vm is None:
+                continue  # VM destroyed since the entry was pushed
+            scheduler = vm.cloudlet_scheduler
+            for cloudlet in scheduler.advance_to(now):
+                self._account_finished(cloudlet, vm)
+                self.send_now(self._vm_owner[vm_id], EventTag.CLOUDLET_RETURN, data=cloudlet)
+            self._push_horizon(vm)
+        self._arm_next()
+
+    def _push_horizon(self, vm: Vm) -> None:
+        """Record the VM's current next-completion time on the heap."""
+        t = vm.cloudlet_scheduler.next_completion_time()
+        if math.isfinite(t):
+            heapq.heappush(self._completion_heap, (t, vm.vm_id))
+
+    def _account_finished(self, cloudlet: Cloudlet, vm: Vm) -> None:
+        self.accumulated_cost += self.characteristics.cloudlet_cost(cloudlet, vm)
+        self.finished_count += 1
+
+    def _arm_next(self) -> None:
+        """Keep exactly one wake-up event, at the earliest live horizon."""
+        heap = self._completion_heap
+        # Drop entries that no longer reflect their VM's true horizon.
+        while heap:
+            t, vm_id = heap[0]
+            vm = self._vms.get(vm_id)
+            if vm is None:
+                heapq.heappop(heap)
+                continue
+            truth = vm.cloudlet_scheduler.next_completion_time()
+            if not math.isfinite(truth) or truth > t + _EPS:
+                heapq.heappop(heap)
+                continue
+            break
+        next_time = heap[0][0] if heap else math.inf
+        if self._pending_update is not None:
+            if math.isfinite(next_time) and abs(self._pending_update.time - next_time) < _EPS:
+                return
+            self.sim.cancel(self._pending_update)
+            self._pending_update = None
+        if math.isfinite(next_time):
+            delay = max(0.0, next_time - self.now)
+            self._pending_update = self.schedule_self(
+                delay, EventTag.VM_DATACENTER_EVENT, priority=1
+            )
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def vms(self) -> tuple[Vm, ...]:
+        return tuple(self._vms.values())
+
+    def vm(self, vm_id: int) -> Vm:
+        return self._vms[vm_id]
+
+
+__all__ = ["Datacenter"]

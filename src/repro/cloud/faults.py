@@ -1,0 +1,239 @@
+"""Fault injection: VM failures and resilient brokering.
+
+Cloud schedulers are motivated by self-management under change; this module
+injects the sharpest change — a VM dying mid-batch — and provides the
+recovery path:
+
+* :class:`VmFailure` — a (vm index, time) failure plan entry;
+* :class:`FaultInjector` — an entity that delivers ``VM_FAILURE`` events to
+  the owning datacenter on schedule;
+* datacenter-side handling lives in the datacenter's ``VM_FAILURE``
+  branch: work completed strictly before the crash is credited, unfinished
+  work on the dead VM loses its progress and is bounced back to the broker;
+* :class:`ResilientBroker` — resubmits bounced cloudlets round-robin over
+  the surviving VMs;
+* :func:`run_with_failures` — one-call façade returning the usual
+  :class:`~repro.cloud.simulation.SimulationResult` plus retry accounting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.broker import DatacenterBroker
+from repro.cloud.cloudlet import Cloudlet, CloudletStatus
+from repro.cloud.datacenter import Datacenter
+from repro.cloud.simulation import (
+    SimulationResult,
+    build_hosts_for_datacenter,
+    compute_batch_costs,
+)
+from repro.core.engine import Simulation
+from repro.core.entity import Entity
+from repro.core.eventqueue import Event
+from repro.core.tags import EventTag
+from repro.metrics.definitions import makespan, time_imbalance
+from repro.schedulers.base import Scheduler, SchedulingContext
+from repro.workloads.spec import ScenarioSpec
+
+
+@dataclass(frozen=True, slots=True)
+class VmFailure:
+    """One planned VM failure."""
+
+    vm_index: int
+    at_time: float
+
+    def __post_init__(self) -> None:
+        if self.vm_index < 0:
+            raise ValueError(f"vm_index must be non-negative, got {self.vm_index}")
+        if self.at_time < 0:
+            raise ValueError(f"at_time must be non-negative, got {self.at_time}")
+
+
+class FaultInjector(Entity):
+    """Delivers scheduled VM failures to their datacenters."""
+
+    def __init__(
+        self,
+        name: str,
+        failures: list[VmFailure],
+        vm_entity: dict[int, int],
+    ) -> None:
+        """``vm_entity`` maps vm index → owning datacenter entity id."""
+        super().__init__(name)
+        for failure in failures:
+            if failure.vm_index not in vm_entity:
+                raise ValueError(f"failure references unknown vm index {failure.vm_index}")
+        self.failures = list(failures)
+        self.vm_entity = dict(vm_entity)
+
+    def start(self) -> None:
+        for failure in self.failures:
+            self.schedule_self(failure.at_time, EventTag.TIMER, data=failure)
+
+    def process_event(self, event: Event) -> None:
+        if event.tag is not EventTag.TIMER:
+            raise ValueError(f"{self.name}: unexpected event tag {event.tag!r}")
+        failure: VmFailure = event.data
+        self.send_now(
+            self.vm_entity[failure.vm_index],
+            EventTag.VM_FAILURE,
+            data=failure.vm_index,
+            priority=-1,  # fail before same-instant completions are processed
+        )
+
+
+class ResilientBroker(DatacenterBroker):
+    """A broker that resubmits cloudlets bounced off failed VMs.
+
+    Recovery policy: round-robin over the VMs still alive (the simplest
+    self-healing rule; scheduler-driven recovery can subclass
+    :meth:`choose_retry_vm`).
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._alive = np.ones(len(self.vms), dtype=bool)
+        self._retry_cursor = 0
+        self.retries = 0
+        #: vm index of each cloudlet's final (possibly post-retry) placement.
+        self.final_assignment = np.asarray(self.assignment, dtype=np.int64).copy()
+
+    def mark_failed_vm(self, vm_index: int) -> None:
+        self._alive[vm_index] = False
+
+    def process_event(self, event: Event) -> None:
+        # Failure notifications ride on NONE events with a tagged payload.
+        if (
+            event.tag is EventTag.NONE
+            and isinstance(event.data, tuple)
+            and len(event.data) == 2
+            and event.data[0] == "vm-failed"
+        ):
+            self.mark_failed_vm(int(event.data[1]))
+            return
+        super().process_event(event)
+
+    def choose_retry_vm(self, cloudlet: Cloudlet) -> int:
+        """Pick a surviving VM for a bounced cloudlet."""
+        alive = np.flatnonzero(self._alive)
+        if alive.size == 0:
+            raise RuntimeError("every VM has failed; cloudlets cannot be recovered")
+        vm = int(alive[self._retry_cursor % alive.size])
+        self._retry_cursor += 1
+        return vm
+
+    def _process_return(self, event: Event) -> None:
+        cloudlet: Cloudlet = event.data
+        if cloudlet.status is CloudletStatus.FAILED:
+            vm_index = self.choose_retry_vm(cloudlet)
+            self.retries += 1
+            c_idx = cloudlet.cloudlet_id
+            self.final_assignment[c_idx] = vm_index
+            cloudlet.reset_for_retry()
+            cloudlet.vm_id = self.vms[vm_index].vm_id
+            dc_id = self.vm_placement[vm_index]
+            self.send(dc_id, self.topology.latency(self.id, dc_id),
+                      EventTag.CLOUDLET_SUBMIT, data=cloudlet)
+            return
+        super()._process_return(event)
+
+
+def run_with_failures(
+    scenario: ScenarioSpec,
+    scheduler: Scheduler,
+    failures: list[VmFailure],
+    seed: int | None = 0,
+) -> SimulationResult:
+    """Run a batch under a VM-failure plan with resilient recovery."""
+    for failure in failures:
+        if failure.vm_index >= scenario.num_vms:
+            raise ValueError(
+                f"failure vm_index {failure.vm_index} out of range "
+                f"(scenario has {scenario.num_vms} VMs)"
+            )
+
+    context = SchedulingContext.from_scenario(scenario, seed)
+    t0 = time.perf_counter()
+    decision = scheduler.schedule_checked(context)
+    scheduling_time = time.perf_counter() - t0
+
+    sim = Simulation()
+    datacenters: list[Datacenter] = []
+    for dc_idx, dc_spec in enumerate(scenario.datacenters):
+        dc = Datacenter(
+            name=f"dc-{dc_idx}",
+            hosts=build_hosts_for_datacenter(scenario, dc_idx),
+            characteristics=dc_spec.characteristics,
+        )
+        sim.register(dc)
+        datacenters.append(dc)
+    vms = [spec.build(vm_id=i) for i, spec in enumerate(scenario.vms)]
+    cloudlets = [spec.build(cloudlet_id=i) for i, spec in enumerate(scenario.cloudlets)]
+    vm_placement = {i: datacenters[scenario.vm_datacenter[i]].id for i in range(len(vms))}
+    broker = ResilientBroker(
+        name="resilient-broker",
+        vms=vms,
+        cloudlets=cloudlets,
+        assignment=decision.assignment,
+        vm_placement=vm_placement,
+    )
+    sim.register(broker)
+    injector = FaultInjector(
+        name="fault-injector",
+        failures=failures,
+        vm_entity=vm_placement,
+    )
+    sim.register(injector)
+    # The broker learns about each death at the failure instant (before the
+    # datacenter bounces the dead VM's cloudlets, see priorities) so retries
+    # avoid dead VMs.
+    for failure in failures:
+        sim.schedule(
+            delay=failure.at_time,
+            src=-1,
+            dst=broker.id,
+            tag=EventTag.NONE,
+            data=("vm-failed", failure.vm_index),
+            priority=-2,
+        )
+
+    sim.run()
+    if not broker.all_finished:
+        raise RuntimeError(
+            f"failure run drained with {len(broker.finished)}/"
+            f"{len(cloudlets)} cloudlets finished"
+        )
+
+    start = np.array([c.exec_start_time for c in cloudlets])
+    finish = np.array([c.finish_time for c in cloudlets])
+    submission = np.array([c.submission_time for c in cloudlets])
+    costs = compute_batch_costs(scenario, broker.final_assignment)
+    return SimulationResult(
+        scenario_name=scenario.name,
+        scheduler_name=decision.scheduler_name,
+        scheduling_time=scheduling_time,
+        makespan=makespan(start, finish),
+        time_imbalance=time_imbalance(finish - start),
+        total_cost=float(costs.sum()),
+        assignment=broker.final_assignment,
+        submission_times=submission,
+        start_times=start,
+        finish_times=finish,
+        exec_times=finish - start,
+        costs=costs,
+        events_processed=sim.events_processed,
+        info={
+            "engine": "des+faults",
+            "retries": broker.retries,
+            "failures": len(failures),
+            **decision.info,
+        },
+    )
+
+
+__all__ = ["VmFailure", "FaultInjector", "ResilientBroker", "run_with_failures"]

@@ -1,0 +1,373 @@
+"""One-call scenario execution.
+
+:class:`CloudSimulation` wires a :class:`~repro.workloads.spec.ScenarioSpec`
+and a scheduler into the DES kernel: it times the scheduling decision
+(the paper's *scheduling time*), builds datacenters/hosts/VMs/cloudlets,
+runs the event loop and reduces the outcome to a
+:class:`SimulationResult` carrying the paper's four metrics.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Literal
+
+import numpy as np
+
+from repro.cloud.broker import DatacenterBroker
+from repro.cloud.cloudlet import Cloudlet
+from repro.cloud.cloudlet_scheduler import (
+    CloudletSchedulerSpaceShared,
+    CloudletSchedulerTimeShared,
+)
+from repro.cloud.datacenter import Datacenter
+from repro.cloud.host import Host
+from repro.cloud.topology import NetworkTopology
+from repro.cloud.vm import Vm
+from repro.core.engine import Simulation
+from repro.metrics.definitions import (
+    average_waiting_time,
+    makespan,
+    processing_cost,
+    throughput,
+    time_imbalance,
+)
+from repro.schedulers.base import Scheduler, SchedulingContext
+from repro.workloads.spec import ScenarioSpec
+
+ExecutionModel = Literal["space-shared", "time-shared"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one (scenario, scheduler) execution.
+
+    All per-cloudlet arrays are index-aligned with the scenario's cloudlet
+    list.
+    """
+
+    scenario_name: str
+    scheduler_name: str
+    #: wall-clock seconds the scheduler spent deciding (paper metric 1).
+    scheduling_time: float
+    #: simulated makespan, Eq. 12 (paper metric 2).
+    makespan: float
+    #: degree of imbalance, Eq. 13 (paper metric 3).
+    time_imbalance: float
+    #: summed processing cost (paper metric 4, Fig. 6d).
+    total_cost: float
+    assignment: np.ndarray
+    submission_times: np.ndarray
+    start_times: np.ndarray
+    finish_times: np.ndarray
+    exec_times: np.ndarray
+    #: per-cloudlet processing cost.
+    costs: np.ndarray
+    events_processed: int = 0
+    info: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_cloudlets(self) -> int:
+        return int(self.assignment.shape[0])
+
+    @property
+    def average_waiting_time(self) -> float:
+        """Mean submission→start delay."""
+        return average_waiting_time(self.submission_times, self.start_times)
+
+    @property
+    def throughput(self) -> float:
+        """Cloudlets finished per simulated second."""
+        return throughput(self.finish_times)
+
+    def summary(self) -> dict[str, float]:
+        """The paper's four metrics as a flat dict (for reports/CSV)."""
+        return {
+            "scheduling_time_s": self.scheduling_time,
+            "makespan": self.makespan,
+            "time_imbalance": self.time_imbalance,
+            "total_cost": self.total_cost,
+        }
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path) -> "Path":
+        """Persist the full result (metrics + per-cloudlet arrays) as JSON."""
+        import json
+        from pathlib import Path
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format_version": 1,
+            "scenario_name": self.scenario_name,
+            "scheduler_name": self.scheduler_name,
+            "scheduling_time": self.scheduling_time,
+            "makespan": self.makespan,
+            "time_imbalance": self.time_imbalance,
+            "total_cost": self.total_cost,
+            "assignment": self.assignment.tolist(),
+            "submission_times": self.submission_times.tolist(),
+            "start_times": self.start_times.tolist(),
+            "finish_times": self.finish_times.tolist(),
+            "exec_times": self.exec_times.tolist(),
+            "costs": self.costs.tolist(),
+            "events_processed": self.events_processed,
+            "info": {k: v for k, v in self.info.items() if _json_safe(v)},
+        }
+        path.write_text(json.dumps(payload))
+        return path
+
+    @classmethod
+    def load(cls, path) -> "SimulationResult":
+        """Reload a result written by :meth:`save`."""
+        import json
+        from pathlib import Path
+
+        data = json.loads(Path(path).read_text())
+        version = data.get("format_version")
+        if version != 1:
+            raise ValueError(f"unsupported result format version {version!r}")
+        return cls(
+            scenario_name=data["scenario_name"],
+            scheduler_name=data["scheduler_name"],
+            scheduling_time=data["scheduling_time"],
+            makespan=data["makespan"],
+            time_imbalance=data["time_imbalance"],
+            total_cost=data["total_cost"],
+            assignment=np.array(data["assignment"], dtype=np.int64),
+            submission_times=np.array(data["submission_times"]),
+            start_times=np.array(data["start_times"]),
+            finish_times=np.array(data["finish_times"]),
+            exec_times=np.array(data["exec_times"]),
+            costs=np.array(data["costs"]),
+            events_processed=data["events_processed"],
+            info=dict(data["info"]),
+        )
+
+
+def _json_safe(value) -> bool:
+    """True when ``value`` serialises to JSON without custom encoding."""
+    return isinstance(value, (str, int, float, bool, type(None), list, dict))
+
+
+def compute_batch_costs(scenario: ScenarioSpec, assignment: np.ndarray) -> np.ndarray:
+    """Vectorised per-cloudlet processing cost for an assignment."""
+    arr = scenario.arrays()
+    vm = np.asarray(assignment, dtype=np.int64)
+    dc = arr.vm_datacenter[vm]
+    return processing_cost(
+        lengths=arr.cloudlet_length,
+        vm_mips=arr.vm_mips[vm],
+        vm_ram=arr.vm_ram[vm],
+        vm_size=arr.vm_size[vm],
+        file_sizes=arr.cloudlet_file_size,
+        output_sizes=arr.cloudlet_output_size,
+        cost_per_cpu=arr.dc_cost_per_cpu[dc],
+        cost_per_mem=arr.dc_cost_per_mem[dc],
+        cost_per_storage=arr.dc_cost_per_storage[dc],
+        cost_per_bw=arr.dc_cost_per_bw[dc],
+    )
+
+
+def build_hosts_for_datacenter(scenario: ScenarioSpec, dc_idx: int) -> list[Host]:
+    """Create enough hosts in datacenter ``dc_idx`` for its share of VMs.
+
+    Host sizing comes from the :class:`~repro.workloads.spec.DatacenterSpec`;
+    the count is derived from the aggregate PE/RAM/BW/storage demand of the
+    VMs mapped to this datacenter (plus one spare host so allocation
+    policies always have a choice).
+    """
+    dc_spec = scenario.datacenters[dc_idx]
+    vm_indices = list(scenario.vms_in_datacenter(dc_idx))
+    if not vm_indices:
+        return [
+            Host(
+                host_id=0,
+                mips_per_pe=dc_spec.host_mips,
+                pes=dc_spec.host_pes,
+                ram=dc_spec.host_ram,
+                bw=dc_spec.host_bw,
+                storage=dc_spec.host_storage,
+            )
+        ]
+    vms = [scenario.vms[i] for i in vm_indices]
+    need = max(
+        math.ceil(sum(v.pes for v in vms) / dc_spec.host_pes),
+        math.ceil(sum(v.ram for v in vms) / dc_spec.host_ram),
+        math.ceil(sum(v.bw for v in vms) / dc_spec.host_bw),
+        math.ceil(sum(v.size for v in vms) / dc_spec.host_storage),
+        1,
+    )
+    max_vm_mips = max(v.mips for v in vms)
+    if max_vm_mips > dc_spec.host_mips:
+        raise ValueError(
+            f"datacenter {dc_idx}: host PEs of {dc_spec.host_mips} MIPS cannot "
+            f"run a {max_vm_mips} MIPS VM"
+        )
+    return [
+        Host(
+            host_id=h,
+            mips_per_pe=dc_spec.host_mips,
+            pes=dc_spec.host_pes,
+            ram=dc_spec.host_ram,
+            bw=dc_spec.host_bw,
+            storage=dc_spec.host_storage,
+        )
+        for h in range(need + 1)
+    ]
+
+
+class CloudSimulation:
+    """Run one scheduler on one scenario through the DES engine.
+
+    Parameters
+    ----------
+    scenario:
+        The workload/environment description.
+    scheduler:
+        Batch scheduling policy.
+    seed:
+        Root seed for the scheduler's random stream.
+    execution_model:
+        Per-VM cloudlet execution semantics (paper default: space-shared).
+    topology:
+        Optional network topology for submission latencies.
+    trace:
+        Record the kernel event trace (tests/debugging only).
+    """
+
+    def __init__(
+        self,
+        scenario: ScenarioSpec,
+        scheduler: Scheduler,
+        seed: int | None = 0,
+        execution_model: ExecutionModel = "space-shared",
+        topology: NetworkTopology | None = None,
+        trace: bool = False,
+    ) -> None:
+        if execution_model not in ("space-shared", "time-shared"):
+            raise ValueError(f"unknown execution model {execution_model!r}")
+        self.scenario = scenario
+        self.scheduler = scheduler
+        self.seed = seed
+        self.execution_model = execution_model
+        self.topology = topology
+        self.trace = trace
+
+    def _make_cloudlet_scheduler(self):
+        if self.execution_model == "space-shared":
+            return CloudletSchedulerSpaceShared()
+        return CloudletSchedulerTimeShared()
+
+    def run(self) -> SimulationResult:
+        """Schedule, simulate, and reduce to metrics."""
+        scenario = self.scenario
+        context = SchedulingContext.from_scenario(scenario, self.seed)
+
+        t0 = time.perf_counter()
+        decision = self.scheduler.schedule_checked(context)
+        scheduling_time = time.perf_counter() - t0
+
+        sim = Simulation(trace=self.trace)
+        datacenters: list[Datacenter] = []
+        for dc_idx, dc_spec in enumerate(scenario.datacenters):
+            hosts = build_hosts_for_datacenter(scenario, dc_idx)
+            dc = Datacenter(
+                name=f"dc-{dc_idx}",
+                hosts=hosts,
+                characteristics=dc_spec.characteristics,
+            )
+            sim.register(dc)
+            datacenters.append(dc)
+
+        vms: list[Vm] = [
+            spec.build(vm_id=i, cloudlet_scheduler=self._make_cloudlet_scheduler())
+            for i, spec in enumerate(scenario.vms)
+        ]
+        cloudlets: list[Cloudlet] = [
+            spec.build(cloudlet_id=i) for i, spec in enumerate(scenario.cloudlets)
+        ]
+        vm_placement = {
+            i: datacenters[scenario.vm_datacenter[i]].id for i in range(len(vms))
+        }
+        broker = DatacenterBroker(
+            name="broker",
+            vms=vms,
+            cloudlets=cloudlets,
+            assignment=decision.assignment,
+            vm_placement=vm_placement,
+            topology=self.topology,
+        )
+        sim.register(broker)
+        sim.run()
+
+        if not broker.all_finished:
+            raise RuntimeError(
+                f"simulation drained with {len(broker.finished)}/"
+                f"{len(cloudlets)} cloudlets finished"
+            )
+
+        submission = np.array([c.submission_time for c in cloudlets])
+        start = np.array([c.exec_start_time for c in cloudlets])
+        finish = np.array([c.finish_time for c in cloudlets])
+        exec_times = finish - start
+        costs = compute_batch_costs(scenario, decision.assignment)
+
+        return SimulationResult(
+            scenario_name=scenario.name,
+            scheduler_name=decision.scheduler_name,
+            scheduling_time=scheduling_time,
+            makespan=makespan(start, finish),
+            time_imbalance=time_imbalance(exec_times),
+            total_cost=float(costs.sum()),
+            assignment=decision.assignment,
+            submission_times=submission,
+            start_times=start,
+            finish_times=finish,
+            exec_times=exec_times,
+            costs=costs,
+            events_processed=sim.events_processed,
+            info={
+                "engine": "des",
+                "execution_model": self.execution_model,
+                **decision.info,
+            },
+        )
+
+
+def quick_run(
+    scheduler: Scheduler,
+    num_vms: int = 20,
+    num_cloudlets: int = 200,
+    scenario_kind: Literal["heterogeneous", "homogeneous"] = "heterogeneous",
+    seed: int | None = 0,
+    **kwargs,
+) -> SimulationResult:
+    """Convenience wrapper: generate a paper scenario and run it.
+
+    Extra keyword arguments are forwarded to :class:`CloudSimulation`.
+    """
+    # Imported here: workloads import cloud modules, so a module-level import
+    # would be circular.
+    from repro.workloads.heterogeneous import heterogeneous_scenario
+    from repro.workloads.homogeneous import homogeneous_scenario
+
+    if scenario_kind == "heterogeneous":
+        scenario = heterogeneous_scenario(num_vms, num_cloudlets, seed=seed)
+    elif scenario_kind == "homogeneous":
+        scenario = homogeneous_scenario(num_vms, num_cloudlets, seed=seed)
+    else:
+        raise ValueError(f"unknown scenario kind {scenario_kind!r}")
+    return CloudSimulation(scenario, scheduler, seed=seed, **kwargs).run()
+
+
+__all__ = [
+    "CloudSimulation",
+    "SimulationResult",
+    "quick_run",
+    "compute_batch_costs",
+    "build_hosts_for_datacenter",
+]

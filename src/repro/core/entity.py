@@ -1,0 +1,109 @@
+"""Simulation entities.
+
+An :class:`Entity` is the unit of concurrency in the kernel — the analogue of
+CloudSim's ``SimEntity``.  Entities communicate exclusively by tagged,
+time-stamped messages routed through the :class:`~repro.core.engine.Simulation`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any
+
+from repro.core.tags import EventTag
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.core.engine import Simulation
+    from repro.core.eventqueue import Event
+
+
+class Entity(abc.ABC):
+    """Base class for all simulated actors (brokers, datacenters, ...).
+
+    Subclasses implement :meth:`process_event`; :meth:`start` runs once when
+    the simulation begins, before any event is delivered.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("entity name must be non-empty")
+        self.name = name
+        self._id = -1
+        self._sim: Simulation | None = None
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def id(self) -> int:
+        """Kernel-assigned id; ``-1`` until registered with a simulation."""
+        return self._id
+
+    @property
+    def sim(self) -> "Simulation":
+        """The owning simulation.
+
+        Raises
+        ------
+        RuntimeError
+            If the entity has not been registered yet.
+        """
+        if self._sim is None:
+            raise RuntimeError(f"entity {self.name!r} is not attached to a simulation")
+        return self._sim
+
+    def _attach(self, sim: "Simulation", entity_id: int) -> None:
+        if self._sim is not None:
+            raise RuntimeError(f"entity {self.name!r} is already attached")
+        self._sim = sim
+        self._id = entity_id
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Hook called once when :meth:`Simulation.run` begins."""
+
+    def shutdown(self) -> None:
+        """Hook called when the simulation terminates."""
+
+    @abc.abstractmethod
+    def process_event(self, event: "Event") -> None:
+        """Handle a delivered event."""
+
+    # -- messaging ----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.sim.now
+
+    def send(
+        self,
+        dst: "Entity | int",
+        delay: float,
+        tag: EventTag,
+        data: Any = None,
+        priority: int = 0,
+    ) -> "Event":
+        """Send ``data`` to entity ``dst`` after ``delay`` time units."""
+        dst_id = dst.id if isinstance(dst, Entity) else dst
+        return self.sim.schedule(
+            delay=delay, src=self._id, dst=dst_id, tag=tag, data=data, priority=priority
+        )
+
+    def send_now(
+        self, dst: "Entity | int", tag: EventTag, data: Any = None, priority: int = 0
+    ) -> "Event":
+        """Send with zero delay (delivered after currently queued same-time events)."""
+        return self.send(dst, 0.0, tag, data, priority=priority)
+
+    def schedule_self(
+        self, delay: float, tag: EventTag, data: Any = None, priority: int = 0
+    ) -> "Event":
+        """Schedule an event to be delivered back to this entity."""
+        return self.send(self, delay, tag, data, priority=priority)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} id={self._id} name={self.name!r}>"
+
+
+__all__ = ["Entity"]

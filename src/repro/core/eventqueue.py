@@ -1,0 +1,157 @@
+"""Future event list for the DES kernel.
+
+The queue is a binary heap keyed on ``(time, priority, serial)``.  The serial
+number guarantees *stable* FIFO ordering for simultaneous events, which the
+cloud model relies on (e.g. a ``CLOUDLET_SUBMIT`` issued before a
+``VM_DATACENTER_EVENT`` at the same timestamp must be delivered first).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.core.tags import EventTag
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """A scheduled occurrence in simulated time.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time at which the event fires.
+    src:
+        Id of the sending entity (``-1`` for kernel-originated events).
+    dst:
+        Id of the receiving entity.
+    tag:
+        Protocol tag (:class:`~repro.core.tags.EventTag`).
+    data:
+        Arbitrary payload.
+    priority:
+        Secondary ordering key for simultaneous events; lower fires first.
+    serial:
+        Tertiary, strictly increasing tie-breaker assigned by the queue.
+    """
+
+    time: float
+    src: int
+    dst: int
+    tag: EventTag
+    data: Any = None
+    priority: int = 0
+    serial: int = field(default=0, compare=False)
+
+    def sort_key(self) -> tuple[float, int, int]:
+        return (self.time, self.priority, self.serial)
+
+
+class EventQueue:
+    """A future event list with stable ordering and lazy cancellation.
+
+    Cancellation marks events dead in O(1); dead events are skipped when
+    popped.  This keeps :meth:`cancel_where` cheap for the datacenter's
+    "supersede my previous progress-update event" pattern.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[tuple[float, int, int], Event]] = []
+        self._serial = itertools.count()
+        self._dead: set[int] = set()
+        self._live_count = 0
+
+    def __len__(self) -> int:
+        return self._live_count
+
+    def __bool__(self) -> bool:
+        return self._live_count > 0
+
+    def push(
+        self,
+        time: float,
+        src: int,
+        dst: int,
+        tag: EventTag,
+        data: Any = None,
+        priority: int = 0,
+    ) -> Event:
+        """Insert a new event and return it (its serial identifies it)."""
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        event = Event(
+            time=time, src=src, dst=dst, tag=tag, data=data,
+            priority=priority, serial=next(self._serial),
+        )
+        heapq.heappush(self._heap, (event.sort_key(), event))
+        self._live_count += 1
+        return event
+
+    def peek(self) -> Event | None:
+        """Return the next live event without removing it."""
+        self._drop_dead_head()
+        if not self._heap:
+            return None
+        return self._heap[0][1]
+
+    def pop(self) -> Event:
+        """Remove and return the next live event.
+
+        Raises
+        ------
+        IndexError
+            If the queue holds no live events.
+        """
+        self._drop_dead_head()
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        _, event = heapq.heappop(self._heap)
+        self._live_count -= 1
+        return event
+
+    def cancel(self, event: Event) -> bool:
+        """Cancel a previously pushed event.  Returns ``False`` if unknown/dead."""
+        if event.serial in self._dead:
+            return False
+        self._dead.add(event.serial)
+        self._live_count -= 1
+        return True
+
+    def cancel_where(self, predicate: Callable[[Event], bool]) -> int:
+        """Cancel all live events matching ``predicate``; returns the count."""
+        cancelled = 0
+        for _, event in self._heap:
+            if event.serial not in self._dead and predicate(event):
+                self._dead.add(event.serial)
+                cancelled += 1
+        self._live_count -= cancelled
+        return cancelled
+
+    def clear(self) -> None:
+        """Drop every event."""
+        self._heap.clear()
+        self._dead.clear()
+        self._live_count = 0
+
+    def iter_live(self) -> Iterator[Event]:
+        """Iterate live events in an unspecified (heap) order."""
+        for _, event in self._heap:
+            if event.serial not in self._dead:
+                yield event
+
+    def next_time(self) -> float | None:
+        """Time of the next live event, or ``None`` when empty."""
+        head = self.peek()
+        return None if head is None else head.time
+
+    def _drop_dead_head(self) -> None:
+        heap = self._heap
+        dead = self._dead
+        while heap and heap[0][1].serial in dead:
+            dead.discard(heapq.heappop(heap)[1].serial)
+
+
+__all__ = ["Event", "EventQueue"]

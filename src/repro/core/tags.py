@@ -1,0 +1,47 @@
+"""Event tags used by the cloud model.
+
+Mirrors CloudSim's ``CloudSimTags``: every message between entities carries a
+tag identifying the request/response type.  Keeping them in one enum makes the
+event traces greppable and lets tests assert on protocol sequences.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class EventTag(enum.IntEnum):
+    """Protocol tags for messages exchanged between cloud entities."""
+
+    #: Generic no-op event; used by tests and as a wake-up tick.
+    NONE = 0
+
+    #: Broker -> Datacenter: request creation of a VM (payload: ``Vm``).
+    VM_CREATE = 10
+    #: Datacenter -> Broker: result of VM creation (payload: ``(vm, success)``).
+    VM_CREATE_ACK = 11
+    #: Broker -> Datacenter: destroy a VM (payload: ``Vm``).
+    VM_DESTROY = 12
+    #: FaultInjector -> Datacenter: a VM crashes (payload: vm index == vm_id).
+    VM_FAILURE = 13
+    #: Controller -> Datacenter: live-migrate a VM (payload: (vm_id, host_id)).
+    VM_MIGRATE = 14
+    #: Datacenter self-message: a live migration's copy phase finished.
+    VM_MIGRATION_COMPLETE = 15
+
+    #: Broker -> Datacenter: submit a cloudlet to a VM (payload: ``Cloudlet``).
+    CLOUDLET_SUBMIT = 20
+    #: Datacenter -> Broker: cloudlet finished (payload: ``Cloudlet``).
+    CLOUDLET_RETURN = 21
+    #: Datacenter self-message: recompute cloudlet progress at the next
+    #: expected completion instant.
+    VM_DATACENTER_EVENT = 22
+
+    #: Entity self-message used to delay an action (payload: callable or data).
+    TIMER = 30
+
+    #: Simulation management: entity asked to wrap up.
+    END_OF_SIMULATION = 99
+
+
+__all__ = ["EventTag"]

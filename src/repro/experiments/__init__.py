@@ -1,0 +1,41 @@
+"""Experiment harness.
+
+One entry point per paper figure plus ablations:
+
+* ``fig4a`` / ``fig4b`` — homogeneous simulation time (makespan) sweeps;
+* ``fig5a`` / ``fig5b`` — homogeneous scheduling-time sweeps;
+* ``fig6a`` .. ``fig6d`` — heterogeneous makespan / scheduling time /
+  imbalance / processing cost sweeps;
+* ``ablation-*`` — parameter studies called out in DESIGN.md.
+
+Each experiment can run at three presets: ``quick`` (seconds, CI-sized),
+``scaled`` (minutes, shape-faithful), ``paper`` (the paper's actual sizes;
+hours in pure Python — provided for completeness).
+
+Run from the command line::
+
+    python -m repro.experiments fig6a --preset quick
+    python -m repro.experiments all --preset scaled --out results/
+"""
+
+from repro.experiments.figures import (
+    EXPERIMENTS,
+    ExperimentDefinition,
+    FigureData,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments.runner import SweepRecord, run_sweep
+from repro.experiments.scenarios import Preset, preset_config
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentDefinition",
+    "FigureData",
+    "get_experiment",
+    "run_experiment",
+    "SweepRecord",
+    "run_sweep",
+    "Preset",
+    "preset_config",
+]

@@ -1,0 +1,146 @@
+"""Command-line entry point: regenerate paper figures.
+
+Examples
+--------
+::
+
+    python -m repro.experiments fig6a --preset quick
+    python -m repro.experiments all --preset scaled --out results/ -v
+    python -m repro.experiments list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.extensions import EXTENSION_EXPERIMENTS
+from repro.experiments.figures import EXPERIMENTS, run_experiment
+from repro.experiments.report import render_figure, save_figure
+from repro.experiments.scenarios import Preset
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures (see DESIGN.md for the index).",
+    )
+    parser.add_argument(
+        "target",
+        help=(
+            "figure id (fig4a-fig5b, fig6a-fig6d), extension id (ext-*), "
+            "'compare', 'all', or 'list'"
+        ),
+    )
+    compare = parser.add_argument_group("compare options (target 'compare')")
+    compare.add_argument(
+        "--schedulers",
+        default="antcolony,basetest,honeybee,rbs",
+        help="comma-separated registry names to compare",
+    )
+    compare.add_argument("--vms", type=int, default=50, help="fleet size")
+    compare.add_argument("--cloudlets", type=int, default=500, help="batch size")
+    compare.add_argument(
+        "--scenario",
+        choices=["heterogeneous", "homogeneous"],
+        default="heterogeneous",
+        help="scenario family",
+    )
+    compare.add_argument("--seed", type=int, default=0, help="root seed")
+    parser.add_argument(
+        "--preset",
+        choices=[p.value for p in Preset],
+        default=Preset.QUICK.value,
+        help="sweep size: quick (seconds), scaled (minutes), paper (verbatim sizes)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("results"),
+        help="directory for CSV output (default: results/)",
+    )
+    parser.add_argument(
+        "--logy", action="store_true", help="plot the y axis on a log scale"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="print per-cell progress"
+    )
+    return parser
+
+
+def run_compare(args) -> int:
+    """Run an ad-hoc scheduler comparison and print the metric table."""
+    from repro.analysis.tables import format_table
+    from repro.cloud.simulation import CloudSimulation
+    from repro.schedulers import SCHEDULER_REGISTRY, make_scheduler
+    from repro.workloads import heterogeneous_scenario, homogeneous_scenario
+
+    names = [n.strip() for n in args.schedulers.split(",") if n.strip()]
+    unknown = [n for n in names if n not in SCHEDULER_REGISTRY]
+    if unknown:
+        print(
+            f"unknown scheduler(s) {unknown}; available: {sorted(SCHEDULER_REGISTRY)}",
+            file=sys.stderr,
+        )
+        return 2
+    factory = (
+        heterogeneous_scenario if args.scenario == "heterogeneous" else homogeneous_scenario
+    )
+    scenario = factory(args.vms, args.cloudlets, seed=args.seed)
+    print(f"Scenario: {scenario.name} (seed={args.seed})\n")
+    rows = []
+    for name in names:
+        result = CloudSimulation(scenario, make_scheduler(name), seed=args.seed).run()
+        rows.append(
+            {
+                "scheduler": name,
+                "makespan_s": result.makespan,
+                "scheduling_time_s": result.scheduling_time,
+                "time_imbalance": result.time_imbalance,
+                "processing_cost": result.total_cost,
+            }
+        )
+    print(format_table(rows, float_format="{:.4g}"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.target == "compare":
+        return run_compare(args)
+    if args.target == "list":
+        for experiment_id, definition in sorted(EXPERIMENTS.items()):
+            print(f"{experiment_id:10s} {definition.title}")
+            print(f"{'':10s}   expectation: {definition.expectation}")
+        for experiment_id, runner in sorted(EXTENSION_EXPERIMENTS.items()):
+            print(f"{experiment_id:10s} {(runner.__doc__ or '').strip().splitlines()[0]}")
+        return 0
+
+    targets = sorted(EXPERIMENTS) if args.target == "all" else [args.target.lower()]
+    unknown = [
+        t for t in targets if t not in EXPERIMENTS and t not in EXTENSION_EXPERIMENTS
+    ]
+    if unknown:
+        print(f"unknown experiment(s) {unknown}; try 'list'", file=sys.stderr)
+        return 2
+
+    progress = print if args.verbose else None
+    for target in targets:
+        t0 = time.perf_counter()
+        if target in EXTENSION_EXPERIMENTS:
+            data = EXTENSION_EXPERIMENTS[target](args.preset)
+        else:
+            data = run_experiment(target, preset=args.preset, progress=progress)
+        elapsed = time.perf_counter() - t0
+        # Scheduling-time figures span decades; log scale reads better.
+        logy = args.logy or target.startswith("fig5") or target == "fig6b"
+        print(render_figure(data, logy=logy))
+        path = save_figure(data, args.out)
+        print(f"(swept in {elapsed:.1f}s; CSV written to {path})\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

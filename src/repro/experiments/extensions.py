@@ -1,0 +1,166 @@
+"""Extension experiments beyond the paper's figures.
+
+Three studies the paper motivates but never runs, each regenerable from the
+CLI like the paper figures:
+
+* ``ext-energy`` — fleet energy per scheduler (linear power model) across
+  the heterogeneous VM sweep;
+* ``ext-online`` — mean flow time of the online policies across Poisson
+  arrival rates;
+* ``ext-sla`` — deadline violation rate of EDF vs the paper schedulers
+  across deadline slack factors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.cloud.online import OnlineCloudSimulation
+from repro.cloud.power import PowerModelLinear, energy_of_result
+from repro.cloud.simulation import CloudSimulation
+from repro.experiments.figures import FigureData
+from repro.experiments.scenarios import Preset
+from repro.metrics.sla import relative_deadlines, sla_report
+from repro.schedulers import RoundRobinScheduler, make_scheduler
+from repro.schedulers.deadline import DeadlineAwareScheduler
+from repro.schedulers.online import (
+    BatchAdapter,
+    OnlineGreedyMCT,
+    OnlineLeastLoaded,
+    OnlineRoundRobin,
+)
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.heterogeneous import heterogeneous_scenario
+
+#: bench-sized ACO for the extension sweeps.
+_ACO_KWARGS = {"num_ants": 10, "max_iterations": 2}
+
+
+def _sizes(preset: Preset | str) -> tuple[int, int, tuple[int, ...]]:
+    """(num_cloudlets, num_vms, seeds) per preset for the extensions."""
+    preset = Preset(preset)
+    if preset is Preset.QUICK:
+        return 300, 40, (0,)
+    if preset is Preset.SCALED:
+        return 800, 80, (0, 1)
+    return 1000, 100, (0, 1, 2)
+
+
+def run_ext_energy(preset: Preset | str = Preset.QUICK) -> FigureData:
+    """Fleet energy (J) per paper scheduler across the VM sweep."""
+    num_cloudlets, _, seeds = _sizes(preset)
+    vm_counts = [25, 50, 100, 200]
+    model = PowerModelLinear(idle_watts=100.0, peak_watts=250.0)
+    schedulers = ("antcolony", "basetest", "honeybee", "rbs")
+    series: dict[str, list[float]] = {name: [] for name in schedulers}
+    ci = {name: [0.0] * len(vm_counts) for name in schedulers}
+    for num_vms in vm_counts:
+        for name in schedulers:
+            values = []
+            for seed in seeds:
+                scenario = heterogeneous_scenario(num_vms, num_cloudlets, seed=seed)
+                kwargs = _ACO_KWARGS if name == "antcolony" else {}
+                result = CloudSimulation(
+                    scenario, make_scheduler(name, **kwargs), seed=seed
+                ).run()
+                values.append(energy_of_result(result, scenario, model))
+            series[name].append(float(np.mean(values)))
+    return FigureData(
+        experiment_id="ext-energy",
+        title="Fleet energy per scheduler (extension)",
+        xlabel="number of virtual machines",
+        ylabel="energy (J)",
+        x=vm_counts,
+        series=series,
+        ci=ci,
+    )
+
+
+def run_ext_online(preset: Preset | str = Preset.QUICK) -> FigureData:
+    """Mean flow time per online policy across Poisson arrival rates."""
+    num_cloudlets, num_vms, seeds = _sizes(preset)
+    rates = [5, 10, 20, 40, 80]
+    policies: dict[str, Callable[[], object]] = {
+        "online-roundrobin": OnlineRoundRobin,
+        "online-leastloaded": OnlineLeastLoaded,
+        "online-greedy-mct": OnlineGreedyMCT,
+        "batch[basetest]": lambda: BatchAdapter(RoundRobinScheduler()),
+    }
+    series: dict[str, list[float]] = {name: [] for name in policies}
+    ci = {name: [0.0] * len(rates) for name in policies}
+    for rate in rates:
+        for name, factory in policies.items():
+            values = []
+            for seed in seeds:
+                scenario = heterogeneous_scenario(num_vms, num_cloudlets, seed=seed)
+                result = OnlineCloudSimulation(
+                    scenario, factory(), arrivals=PoissonArrivals(rate=float(rate)), seed=seed
+                ).run()
+                flow = result.finish_times - result.submission_times
+                values.append(float(flow.mean()))
+            series[name].append(float(np.mean(values)))
+    return FigureData(
+        experiment_id="ext-online",
+        title="Mean flow time under Poisson arrivals (extension)",
+        xlabel="arrival rate (cloudlets/s)",
+        ylabel="mean flow time (s)",
+        x=rates,
+        series=series,
+        ci=ci,
+        x_key="arrival_rate",
+    )
+
+
+def run_ext_sla(preset: Preset | str = Preset.QUICK) -> FigureData:
+    """Deadline violation rate (%) across slack factors."""
+    num_cloudlets, num_vms, seeds = _sizes(preset)
+    slacks = [2, 4, 8, 16, 32]
+    names = ("deadline-edf", "basetest", "antcolony", "honeybee")
+    series: dict[str, list[float]] = {name: [] for name in names}
+    ci = {name: [0.0] * len(slacks) for name in names}
+    for slack in slacks:
+        for name in names:
+            values = []
+            for seed in seeds:
+                scenario = heterogeneous_scenario(num_vms, num_cloudlets, seed=seed)
+                arr = scenario.arrays()
+                deadlines = relative_deadlines(
+                    arr.cloudlet_length, float(arr.vm_mips.mean()), slack_factor=float(slack)
+                )
+                if name == "deadline-edf":
+                    scheduler = DeadlineAwareScheduler(deadlines=deadlines)
+                elif name == "antcolony":
+                    scheduler = make_scheduler(name, **_ACO_KWARGS)
+                else:
+                    scheduler = make_scheduler(name)
+                result = CloudSimulation(scenario, scheduler, seed=seed).run()
+                report = sla_report(result.finish_times, deadlines)
+                values.append(100.0 * report.violation_rate)
+            series[name].append(float(np.mean(values)))
+    return FigureData(
+        experiment_id="ext-sla",
+        title="Deadline violation rate vs slack (extension)",
+        xlabel="deadline slack factor",
+        ylabel="violation rate (%)",
+        x=slacks,
+        series=series,
+        ci=ci,
+        x_key="slack_factor",
+    )
+
+
+EXTENSION_EXPERIMENTS: dict[str, Callable[[Preset | str], FigureData]] = {
+    "ext-energy": run_ext_energy,
+    "ext-online": run_ext_online,
+    "ext-sla": run_ext_sla,
+}
+
+
+__all__ = [
+    "run_ext_energy",
+    "run_ext_online",
+    "run_ext_sla",
+    "EXTENSION_EXPERIMENTS",
+]

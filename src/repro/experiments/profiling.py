@@ -1,0 +1,101 @@
+"""Profiling helpers.
+
+The hpc-parallel guideline this project follows is *no optimization without
+measuring*: these wrappers make it one call to profile a scheduler decision
+or a whole simulation and get the hot functions back, without littering the
+experiment code with ``cProfile`` boilerplate.
+
+Examples
+--------
+>>> from repro.experiments.profiling import profile_scheduling
+>>> from repro.schedulers import AntColonyScheduler
+>>> from repro.workloads import heterogeneous_scenario
+>>> scenario = heterogeneous_scenario(20, 100, seed=0)
+>>> report = profile_scheduling(AntColonyScheduler(num_ants=4, max_iterations=1), scenario)
+>>> "function calls" in report.text
+True
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.schedulers.base import Scheduler, SchedulingContext
+from repro.workloads.spec import ScenarioSpec
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Captured profile: raw stats plus a rendered top-N text table."""
+
+    text: str
+    total_calls: int
+    total_time: float
+    result: Any
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def profile_callable(
+    fn: Callable[[], Any],
+    sort: str = "cumulative",
+    top: int = 25,
+) -> ProfileReport:
+    """Run ``fn`` under cProfile and return a :class:`ProfileReport`."""
+    if top < 1:
+        raise ValueError(f"top must be >= 1, got {top}")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(sort).print_stats(top)
+    return ProfileReport(
+        text=buffer.getvalue(),
+        total_calls=int(stats.total_calls),
+        total_time=float(stats.total_tt),
+        result=result,
+    )
+
+
+def profile_scheduling(
+    scheduler: Scheduler,
+    scenario: ScenarioSpec,
+    seed: int | None = 0,
+    sort: str = "cumulative",
+    top: int = 25,
+) -> ProfileReport:
+    """Profile one scheduling decision on ``scenario``."""
+    context = SchedulingContext.from_scenario(scenario, seed=seed)
+    return profile_callable(
+        lambda: scheduler.schedule_checked(context), sort=sort, top=top
+    )
+
+
+def profile_simulation(
+    scheduler: Scheduler,
+    scenario: ScenarioSpec,
+    seed: int | None = 0,
+    engine: str = "des",
+    sort: str = "cumulative",
+    top: int = 25,
+) -> ProfileReport:
+    """Profile a full (schedule + simulate + metrics) pipeline run."""
+    from repro.experiments.runner import run_point
+
+    return profile_callable(
+        lambda: run_point(scenario, scheduler, seed=seed, engine=engine),  # type: ignore[arg-type]
+        sort=sort,
+        top=top,
+    )
+
+
+__all__ = ["ProfileReport", "profile_callable", "profile_scheduling", "profile_simulation"]

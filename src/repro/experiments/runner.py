@@ -1,0 +1,121 @@
+"""Sweep execution.
+
+:func:`run_sweep` evaluates a set of schedulers over a range of VM counts
+and seeds, returning flat :class:`SweepRecord` rows that the figure layer
+aggregates.  The engine is selectable: the DES kernel (default, used for
+the heterogeneous experiments) or the analytic fast path (used for the
+paper's very large homogeneous sweeps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Literal
+
+from repro.cloud.fast import FastSimulation
+from repro.cloud.simulation import CloudSimulation, SimulationResult
+from repro.schedulers import Scheduler
+from repro.workloads.spec import ScenarioSpec
+
+Engine = Literal["des", "fast"]
+ScenarioFactory = Callable[[int, int, int], ScenarioSpec]
+"""(num_vms, num_cloudlets, seed) -> scenario"""
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One (scheduler, scale, seed) measurement."""
+
+    scheduler: str
+    num_vms: int
+    num_cloudlets: int
+    seed: int
+    scheduling_time: float
+    makespan: float
+    time_imbalance: float
+    total_cost: float
+    events_processed: int
+
+    @classmethod
+    def from_result(
+        cls, result: SimulationResult, num_vms: int, num_cloudlets: int, seed: int
+    ) -> "SweepRecord":
+        return cls(
+            scheduler=result.scheduler_name,
+            num_vms=num_vms,
+            num_cloudlets=num_cloudlets,
+            seed=seed,
+            scheduling_time=result.scheduling_time,
+            makespan=result.makespan,
+            time_imbalance=result.time_imbalance,
+            total_cost=result.total_cost,
+            events_processed=result.events_processed,
+        )
+
+    def metric(self, name: str) -> float:
+        """Look up a metric by its figure key."""
+        try:
+            return float(getattr(self, name))
+        except AttributeError:
+            raise ValueError(f"unknown metric {name!r}") from None
+
+
+def run_point(
+    scenario: ScenarioSpec,
+    scheduler: Scheduler,
+    seed: int,
+    engine: Engine = "des",
+) -> SimulationResult:
+    """Execute one (scenario, scheduler) cell on the chosen engine."""
+    if engine == "des":
+        return CloudSimulation(scenario, scheduler, seed=seed).run()
+    if engine == "fast":
+        return FastSimulation(scenario, scheduler, seed=seed).run()
+    raise ValueError(f"unknown engine {engine!r}")
+
+
+def run_sweep(
+    scenario_factory: ScenarioFactory,
+    scheduler_factories: dict[str, Callable[[], Scheduler]],
+    vm_counts: Iterable[int],
+    num_cloudlets: int,
+    seeds: Iterable[int] = (0,),
+    engine: Engine = "des",
+    progress: Callable[[str], None] | None = None,
+) -> list[SweepRecord]:
+    """Run the full (scheduler × vm_count × seed) grid.
+
+    Parameters
+    ----------
+    scenario_factory:
+        Builds the scenario for each (num_vms, num_cloudlets, seed) cell —
+        the same scenario instance is shared by all schedulers at that cell
+        so they compete on identical inputs.
+    scheduler_factories:
+        Name → zero-arg constructor; a fresh scheduler per cell keeps
+        stateful policies honest.
+    progress:
+        Optional callback receiving a human-readable line per cell.
+    """
+    records: list[SweepRecord] = []
+    for num_vms in vm_counts:
+        for seed in seeds:
+            scenario = scenario_factory(num_vms, num_cloudlets, seed)
+            for name, factory in scheduler_factories.items():
+                result = run_point(scenario, factory(), seed=seed, engine=engine)
+                record = SweepRecord.from_result(result, num_vms, num_cloudlets, seed)
+                if record.scheduler != name:
+                    raise RuntimeError(
+                        f"factory {name!r} produced scheduler {record.scheduler!r}"
+                    )
+                records.append(record)
+                if progress is not None:
+                    progress(
+                        f"{name:12s} vms={num_vms:<7d} seed={seed} "
+                        f"makespan={record.makespan:10.2f} "
+                        f"sched={record.scheduling_time * 1e3:9.2f}ms"
+                    )
+    return records
+
+
+__all__ = ["SweepRecord", "run_sweep", "run_point", "Engine", "ScenarioFactory"]

@@ -1,0 +1,145 @@
+"""Paper scenario constants and preset scaling.
+
+The paper's sweeps:
+
+* Fig. 4a / 5a — homogeneous, 1 000-9 000 VMs (step 1 000), 1 000 000
+  cloudlets;
+* Fig. 4b / 5b — homogeneous, 10 000-90 000 VMs (step 20 000 as plotted),
+  1 000 000 cloudlets;
+* Fig. 6a-6d — heterogeneous, 50-950 VMs (step 100), 1 000 cloudlets
+  (Section VI-D2: "the test used 50 virtual machines and up to 1000
+  Cloudlets"; the figures sweep the VM count).
+
+Pure-Python presets:
+
+* ``quick`` — CI-sized, seconds per figure; preserves orderings.
+* ``scaled`` — 10× quick; minutes per figure; smooth curves.
+* ``paper`` — the verbatim sizes above.  The homogeneous sweeps use the
+  analytic fast path so they complete, but the metaheuristics' scheduling
+  loops at 10^6 cloudlets take hours in CPython — provided for
+  completeness, not for CI.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.schedulers import Scheduler, make_scheduler
+
+
+class Preset(str, enum.Enum):
+    """Experiment size preset."""
+
+    QUICK = "quick"
+    SCALED = "scaled"
+    PAPER = "paper"
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Sizes and repetitions for one figure sweep."""
+
+    vm_counts: tuple[int, ...]
+    num_cloudlets: int
+    seeds: tuple[int, ...]
+    #: scheduler name -> constructor kwargs (preset-specific tuning).
+    scheduler_kwargs: dict[str, dict] = field(default_factory=dict)
+
+    def make_schedulers(self, names: tuple[str, ...]) -> dict[str, Callable[[], Scheduler]]:
+        """Factories for the requested schedulers with preset overrides."""
+        return {
+            name: (lambda name=name: make_scheduler(name, **self.scheduler_kwargs.get(name, {})))
+            for name in names
+        }
+
+
+#: ACO configuration for the homogeneous sweeps.  ``tabu="pass"`` is the
+#: strict "visit each VM once" reading: it forces near-uniform visit counts,
+#: which is what makes ACO converge to the Base Test optimum in Fig. 4
+#: (without it the multinomial spread of stochastic choices never closes the
+#: gap).  The colony is kept small — the homogeneous fleet is symmetric, so
+#: extra ants/iterations only add scheduling time, which is exactly the
+#: effect Fig. 5 documents.
+_ACO_LIGHT = {"num_ants": 5, "max_iterations": 2, "tabu": "pass", "pheromone": "vm"}
+
+_HOMOGENEOUS: dict[Preset, dict[str, SweepConfig]] = {
+    Preset.QUICK: {
+        "a": SweepConfig(
+            vm_counts=tuple(range(100, 1000, 100)),
+            num_cloudlets=10_000,
+            seeds=(0,),
+            scheduler_kwargs={"antcolony": _ACO_LIGHT},
+        ),
+        "b": SweepConfig(
+            vm_counts=tuple(range(1_000, 10_000, 2_000)),
+            num_cloudlets=10_000,
+            seeds=(0,),
+            scheduler_kwargs={"antcolony": _ACO_LIGHT},
+        ),
+    },
+    Preset.SCALED: {
+        "a": SweepConfig(
+            vm_counts=tuple(range(1_000, 10_000, 1_000)),
+            num_cloudlets=100_000,
+            seeds=(0,),
+            scheduler_kwargs={"antcolony": _ACO_LIGHT},
+        ),
+        "b": SweepConfig(
+            vm_counts=tuple(range(10_000, 100_000, 20_000)),
+            num_cloudlets=100_000,
+            seeds=(0,),
+            scheduler_kwargs={"antcolony": _ACO_LIGHT},
+        ),
+    },
+    Preset.PAPER: {
+        "a": SweepConfig(
+            vm_counts=tuple(range(1_000, 10_000, 1_000)),
+            num_cloudlets=1_000_000,
+            seeds=(0,),
+            scheduler_kwargs={"antcolony": _ACO_LIGHT},
+        ),
+        "b": SweepConfig(
+            vm_counts=tuple(range(10_000, 100_000, 20_000)),
+            num_cloudlets=1_000_000,
+            seeds=(0,),
+            scheduler_kwargs={"antcolony": _ACO_LIGHT},
+        ),
+    },
+}
+
+_HETEROGENEOUS: dict[Preset, SweepConfig] = {
+    Preset.QUICK: SweepConfig(
+        vm_counts=tuple(range(50, 1000, 200)),
+        num_cloudlets=800,
+        seeds=(0, 1),
+        scheduler_kwargs={"antcolony": {"num_ants": 20, "max_iterations": 3}},
+    ),
+    Preset.SCALED: SweepConfig(
+        vm_counts=tuple(range(50, 1000, 100)),
+        num_cloudlets=1_000,
+        seeds=(0, 1, 2),
+    ),
+    Preset.PAPER: SweepConfig(
+        vm_counts=tuple(range(50, 1000, 100)),
+        num_cloudlets=1_000,
+        seeds=(0, 1, 2, 3, 4),
+    ),
+}
+
+
+def preset_config(figure: str, preset: Preset | str) -> SweepConfig:
+    """Sweep configuration for a figure id (``fig4a`` ... ``fig6d``)."""
+    preset = Preset(preset)
+    figure = figure.lower()
+    if figure in ("fig4a", "fig5a"):
+        return _HOMOGENEOUS[preset]["a"]
+    if figure in ("fig4b", "fig5b"):
+        return _HOMOGENEOUS[preset]["b"]
+    if figure in ("fig6a", "fig6b", "fig6c", "fig6d"):
+        return _HETEROGENEOUS[preset]
+    raise ValueError(f"unknown figure id {figure!r}")
+
+
+__all__ = ["Preset", "SweepConfig", "preset_config"]

@@ -1,0 +1,58 @@
+"""Performance metrics.
+
+Implements the paper's four measurements (Section VI-C):
+
+* scheduling time — wall-clock duration of the scheduler's decision,
+* simulation time — makespan of the cloudlet batch (Eq. 12),
+* time imbalance — ``(Tmax - Tmin) / Tavg`` of cloudlet execution times
+  (Eq. 13),
+* processing cost — datacenter-priced resource usage (Section VI-C4),
+
+plus utilization/throughput helpers and summary statistics used by the
+experiment harness.
+"""
+
+from repro.metrics.collector import SchedulingTimer, time_scheduling
+from repro.metrics.definitions import (
+    average_waiting_time,
+    jain_fairness_index,
+    makespan,
+    processing_cost,
+    throughput,
+    time_imbalance,
+    total_processing_cost,
+    vm_load_counts,
+    vm_utilization,
+)
+from repro.metrics.sla import (
+    SlaReport,
+    lateness,
+    relative_deadlines,
+    sla_report,
+    tardiness,
+    violations,
+)
+from repro.metrics.stats import SummaryStats, confidence_interval, summarize
+
+__all__ = [
+    "makespan",
+    "time_imbalance",
+    "processing_cost",
+    "total_processing_cost",
+    "average_waiting_time",
+    "throughput",
+    "vm_load_counts",
+    "vm_utilization",
+    "SchedulingTimer",
+    "time_scheduling",
+    "SummaryStats",
+    "summarize",
+    "confidence_interval",
+    "SlaReport",
+    "lateness",
+    "tardiness",
+    "violations",
+    "sla_report",
+    "relative_deadlines",
+    "jain_fairness_index",
+]

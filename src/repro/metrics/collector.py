@@ -1,0 +1,68 @@
+"""Scheduling-time measurement.
+
+The paper's first metric is the wall-clock time a scheduler spends producing
+an assignment.  :class:`SchedulingTimer` wraps ``time.perf_counter`` and is
+used by the simulation façade around every ``schedule()`` call; it can also
+aggregate repeated measurements for the sweep harness.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class SchedulingTimer:
+    """Accumulates wall-clock timings of scheduling decisions."""
+
+    samples: list[float] = field(default_factory=list)
+
+    @contextmanager
+    def measure(self) -> Iterator[None]:
+        """Context manager recording one timing sample."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.samples.append(time.perf_counter() - t0)
+
+    @property
+    def last(self) -> float:
+        """Most recent sample.
+
+        Raises
+        ------
+        ValueError
+            If nothing has been measured yet.
+        """
+        if not self.samples:
+            raise ValueError("no scheduling time has been measured")
+        return self.samples[-1]
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean(self) -> float:
+        if not self.samples:
+            raise ValueError("no scheduling time has been measured")
+        return self.total / len(self.samples)
+
+
+def time_scheduling(fn: Callable[[], T]) -> tuple[T, float]:
+    """Run ``fn`` and return ``(result, elapsed_seconds)``."""
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+__all__ = ["SchedulingTimer", "time_scheduling"]

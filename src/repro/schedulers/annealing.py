@@ -1,0 +1,127 @@
+"""Simulated annealing scheduler.
+
+A further metaheuristic baseline (the evolutionary-computation survey the
+paper cites [8] covers annealing alongside GA/PSO/ACO): start from a
+balanced assignment, repeatedly move one random cloudlet to a random VM,
+accept improving moves always and worsening moves with probability
+``exp(-delta / T)`` under a geometric cooling schedule.
+
+The makespan estimate is maintained incrementally (only two VM loads change
+per move), so one schedule() call is O(iterations + n + m).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.schedulers.base import Scheduler, SchedulingContext, SchedulingResult
+
+
+class SimulatedAnnealingScheduler(Scheduler):
+    """Simulated annealing over assignment vectors, minimising makespan.
+
+    Parameters
+    ----------
+    iterations:
+        Number of proposed moves.
+    initial_temperature:
+        Starting temperature, as a fraction of the initial makespan
+        estimate (scale-free).
+    cooling:
+        Geometric cooling factor per move, in (0, 1).
+    seed:
+        Extra seed decorrelating this instance from the context stream.
+    """
+
+    def __init__(
+        self,
+        iterations: int = 5000,
+        initial_temperature: float = 0.2,
+        cooling: float = 0.999,
+        seed: int | None = None,
+    ) -> None:
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        if initial_temperature <= 0:
+            raise ValueError(
+                f"initial_temperature must be positive, got {initial_temperature}"
+            )
+        if not 0 < cooling < 1:
+            raise ValueError(f"cooling must be in (0, 1), got {cooling}")
+        self.iterations = iterations
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+        self.seed = seed
+
+    @property
+    def name(self) -> str:
+        return "annealing"
+
+    def schedule(self, context: SchedulingContext) -> SchedulingResult:
+        arr = context.arrays
+        n, m = context.num_cloudlets, context.num_vms
+        rng = context.rng if self.seed is None else np.random.default_rng(
+            [self.seed, n, m]
+        )
+        exec_time = arr.cloudlet_length[:, None] / (
+            (arr.vm_mips * arr.vm_pes)[None, :]
+        ) if n * m <= 10_000_000 else None
+
+        def exec_on(i: int, j: int) -> float:
+            if exec_time is not None:
+                return float(exec_time[i, j])
+            return float(
+                arr.cloudlet_length[i] / (arr.vm_mips[j] * arr.vm_pes[j])
+            )
+
+        # Start from round-robin (balanced counts).
+        assignment = (np.arange(n, dtype=np.int64)) % m
+        loads = np.zeros(m)
+        for i in range(n):
+            loads[assignment[i]] += exec_on(i, int(assignment[i]))
+        current = float(loads.max())
+        best_assignment = assignment.copy()
+        best = current
+        temperature = self.initial_temperature * max(current, 1e-12)
+
+        accepted = 0
+        moves_i = rng.integers(0, n, size=self.iterations)
+        moves_j = rng.integers(0, m, size=self.iterations)
+        uniforms = rng.random(self.iterations)
+        for k in range(self.iterations):
+            i = int(moves_i[k])
+            new_vm = int(moves_j[k])
+            old_vm = int(assignment[i])
+            if new_vm == old_vm:
+                temperature *= self.cooling
+                continue
+            loads[old_vm] -= exec_on(i, old_vm)
+            loads[new_vm] += exec_on(i, new_vm)
+            candidate = float(loads.max())
+            delta = candidate - current
+            if delta <= 0 or uniforms[k] < math.exp(-delta / max(temperature, 1e-300)):
+                assignment[i] = new_vm
+                current = candidate
+                accepted += 1
+                if current < best:
+                    best = current
+                    best_assignment = assignment.copy()
+            else:
+                loads[old_vm] += exec_on(i, old_vm)
+                loads[new_vm] -= exec_on(i, new_vm)
+            temperature *= self.cooling
+
+        return SchedulingResult(
+            assignment=best_assignment,
+            scheduler_name=self.name,
+            info={
+                "best_makespan_estimate": best,
+                "accepted_moves": accepted,
+                "iterations": self.iterations,
+            },
+        )
+
+
+__all__ = ["SimulatedAnnealingScheduler"]

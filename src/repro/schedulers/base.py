@@ -1,0 +1,179 @@
+"""Scheduler interface and shared machinery.
+
+A scheduler is a *batch* decision procedure: it receives a
+:class:`SchedulingContext` describing the cloudlets, VMs and datacenters,
+and returns a cloudlet→VM assignment vector.  The simulation façade times
+the call (the paper's "scheduling time" metric) and then executes the
+assignment on the simulator.
+
+Schedulers must be deterministic given ``(constructor args, context)``:
+all randomness flows through the generator handed to
+:meth:`Scheduler.schedule` inside the context.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.rng import spawn_rng
+from repro.workloads.spec import ScenarioArrays, ScenarioSpec
+
+
+@dataclass(frozen=True)
+class SchedulingContext:
+    """Everything a scheduler may look at.
+
+    Wraps the scenario's array views plus a dedicated random generator.
+    Construct via :meth:`from_scenario`.
+    """
+
+    arrays: ScenarioArrays
+    rng: np.random.Generator
+    scenario_name: str = ""
+
+    @classmethod
+    def from_scenario(
+        cls, scenario: ScenarioSpec, seed: int | None = 0
+    ) -> "SchedulingContext":
+        """Create a context with an RNG derived from ``seed``."""
+        return cls(
+            arrays=scenario.arrays(),
+            rng=spawn_rng(seed, f"scheduler/{scenario.name}"),
+            scenario_name=scenario.name,
+        )
+
+    # -- convenience passthroughs ------------------------------------------------
+
+    @property
+    def num_cloudlets(self) -> int:
+        return self.arrays.num_cloudlets
+
+    @property
+    def num_vms(self) -> int:
+        return self.arrays.num_vms
+
+    @property
+    def num_datacenters(self) -> int:
+        return self.arrays.num_datacenters
+
+    def expected_exec_time(self, cloudlet_idx: int) -> np.ndarray:
+        """Eq. 6 row for one cloudlet over all VMs."""
+        return self.arrays.expected_exec_time(cloudlet_idx)
+
+    def exec_time_matrix(self) -> np.ndarray:
+        """Full Eq. 6 matrix (memory permitting)."""
+        return self.arrays.exec_time_matrix()
+
+
+@dataclass
+class SchedulingResult:
+    """An assignment plus provenance/diagnostics.
+
+    Attributes
+    ----------
+    assignment:
+        ``int64`` array mapping cloudlet index → VM index.
+    scheduler_name:
+        Registry name of the producing scheduler.
+    info:
+        Free-form diagnostics (iterations, best tour quality, spills, ...).
+    """
+
+    assignment: np.ndarray
+    scheduler_name: str
+    info: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.assignment = np.asarray(self.assignment, dtype=np.int64)
+        if self.assignment.ndim != 1:
+            raise ValueError("assignment must be one-dimensional")
+
+
+def validate_assignment(assignment: np.ndarray, num_cloudlets: int, num_vms: int) -> None:
+    """Raise ``ValueError`` unless ``assignment`` is complete and in range."""
+    arr = np.asarray(assignment)
+    if arr.shape != (num_cloudlets,):
+        raise ValueError(
+            f"assignment shape {arr.shape} != ({num_cloudlets},)"
+        )
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise ValueError(f"assignment must be integral, got dtype {arr.dtype}")
+    if arr.size and (arr.min() < 0 or arr.max() >= num_vms):
+        raise ValueError(
+            f"assignment values must be in [0, {num_vms}), got "
+            f"[{arr.min()}, {arr.max()}]"
+        )
+
+
+class Scheduler(abc.ABC):
+    """Base class for all scheduling policies."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Stable registry name (also the legend label in reports)."""
+
+    @abc.abstractmethod
+    def schedule(self, context: SchedulingContext) -> SchedulingResult:
+        """Produce a cloudlet→VM assignment for the given context."""
+
+    def schedule_checked(self, context: SchedulingContext) -> SchedulingResult:
+        """Run :meth:`schedule` and validate the result."""
+        result = self.schedule(context)
+        validate_assignment(result.assignment, context.num_cloudlets, context.num_vms)
+        if result.scheduler_name != self.name:
+            raise ValueError(
+                f"scheduler {self.name!r} returned result labelled "
+                f"{result.scheduler_name!r}"
+            )
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+def estimated_vm_finish_times(
+    assignment: np.ndarray, exec_times: np.ndarray, num_vms: int
+) -> np.ndarray:
+    """Per-VM total of per-cloudlet execution-time estimates.
+
+    With every cloudlet submitted at t=0 and space-shared execution, a VM's
+    completion time is the sum of its cloudlets' execution times; the batch
+    makespan estimate is the max over VMs.  Used as the fitness/tour-quality
+    of the metaheuristic schedulers.
+    """
+    totals = np.zeros(num_vms)
+    np.add.at(totals, assignment, exec_times)
+    return totals
+
+
+def estimate_makespan(
+    assignment: np.ndarray,
+    lengths: np.ndarray,
+    vm_mips: np.ndarray,
+    vm_pes: np.ndarray | None = None,
+) -> float:
+    """Makespan estimate of an assignment (all submissions at t=0).
+
+    Accounts for multi-PE VMs by dividing a VM's total work across its PEs
+    (a lower bound that is exact for single-PE VMs, the paper's setting).
+    """
+    num_vms = vm_mips.shape[0]
+    work = np.zeros(num_vms)
+    np.add.at(work, assignment, lengths)
+    capacity = vm_mips if vm_pes is None else vm_mips * vm_pes
+    return float((work / capacity).max())
+
+
+__all__ = [
+    "Scheduler",
+    "SchedulingContext",
+    "SchedulingResult",
+    "validate_assignment",
+    "estimated_vm_finish_times",
+    "estimate_makespan",
+]

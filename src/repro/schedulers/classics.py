@@ -1,0 +1,63 @@
+"""Classic grid-scheduling heuristics: MET and OLB.
+
+The two extremes that bracket the trade-off every scheduler in this
+package navigates (Braun et al.'s classic taxonomy):
+
+* **MET** (Minimum Execution Time) — each task to the VM that executes it
+  fastest, ignoring load entirely.  Maximal per-task speed, catastrophic
+  balance: on a heterogeneous fleet everything piles onto the fastest VM.
+* **OLB** (Opportunistic Load Balancing) — each task to the VM expected to
+  become idle soonest, ignoring execution speed.  Maximal utilisation of
+  idle capacity, indifferent to whether the VM is any good for the task.
+
+Useful as teaching baselines and as the endpoints the ablation plots span.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.schedulers.base import Scheduler, SchedulingContext, SchedulingResult
+
+
+class MinimumExecutionTimeScheduler(Scheduler):
+    """MET: always the fastest suitable VM (load-blind)."""
+
+    @property
+    def name(self) -> str:
+        return "met"
+
+    def schedule(self, context: SchedulingContext) -> SchedulingResult:
+        arr = context.arrays
+        # Eq. 6 without load: the best VM is the same for every cloudlet
+        # whenever bandwidth is uniform, so compute per-cloudlet argmins
+        # in one vectorised pass.
+        compute = np.outer(arr.cloudlet_length, 1.0 / (arr.vm_mips * arr.vm_pes))
+        with np.errstate(divide="ignore"):
+            inv_bw = np.where(arr.vm_bw > 0, 1.0 / arr.vm_bw, 0.0)
+        d = compute + np.outer(arr.cloudlet_file_size, inv_bw)
+        assignment = np.argmin(d, axis=1).astype(np.int64)
+        return SchedulingResult(assignment=assignment, scheduler_name=self.name)
+
+
+class OpportunisticLoadBalancingScheduler(Scheduler):
+    """OLB: always the earliest-idle VM (speed-blind)."""
+
+    @property
+    def name(self) -> str:
+        return "olb"
+
+    def schedule(self, context: SchedulingContext) -> SchedulingResult:
+        arr = context.arrays
+        n, m = context.num_cloudlets, context.num_vms
+        ready = np.zeros(m)
+        inv_capacity = 1.0 / (arr.vm_mips * arr.vm_pes)
+        assignment = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            j = int(np.argmin(ready))
+            assignment[i] = j
+            ready[j] += arr.cloudlet_length[i] * inv_capacity[j]
+        return SchedulingResult(assignment=assignment, scheduler_name=self.name)
+
+
+__all__ = ["MinimumExecutionTimeScheduler", "OpportunisticLoadBalancingScheduler"]

@@ -1,0 +1,162 @@
+"""Discrete Particle Swarm Optimization scheduler.
+
+Related-work baseline (references [18], [23], [30] of the paper): each
+particle's *position* is a complete assignment vector (one VM index per
+cloudlet, the integer encoding of Pandey et al.).  Velocity is modelled
+probabilistically, as usual for discrete PSO: at every step each component
+of a particle either keeps its value, jumps to the particle's personal
+best, jumps to the global best, or re-randomises (exploration), with
+probabilities derived from the inertia/cognitive/social coefficients.
+
+Fitness combines the two objectives the cited PSO works optimise — expected
+makespan and monetary cost — through ``cost_weight``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.schedulers.base import (
+    Scheduler,
+    SchedulingContext,
+    SchedulingResult,
+)
+
+
+class ParticleSwarmScheduler(Scheduler):
+    """Discrete PSO cloudlet scheduler.
+
+    Parameters
+    ----------
+    num_particles:
+        Swarm size.
+    max_iterations:
+        Velocity/position update rounds.
+    inertia:
+        Probability a component keeps its current value.
+    cognitive:
+        Relative pull toward the particle's personal best.
+    social:
+        Relative pull toward the global best.
+    mutation_rate:
+        Per-component probability of a uniform random jump (keeps the
+        swarm from collapsing).
+    cost_weight:
+        Weight of normalised monetary cost against normalised makespan in
+        the fitness (0 = pure makespan).
+    """
+
+    def __init__(
+        self,
+        num_particles: int = 30,
+        max_iterations: int = 50,
+        inertia: float = 0.5,
+        cognitive: float = 1.5,
+        social: float = 1.5,
+        mutation_rate: float = 0.02,
+        cost_weight: float = 0.0,
+    ) -> None:
+        if num_particles < 2:
+            raise ValueError(f"num_particles must be >= 2, got {num_particles}")
+        if max_iterations < 1:
+            raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+        if not 0 <= inertia <= 1:
+            raise ValueError(f"inertia must be in [0, 1], got {inertia}")
+        if cognitive < 0 or social < 0:
+            raise ValueError("cognitive and social must be non-negative")
+        if cognitive + social == 0:
+            raise ValueError("cognitive + social must be positive")
+        if not 0 <= mutation_rate <= 1:
+            raise ValueError(f"mutation_rate must be in [0, 1], got {mutation_rate}")
+        if cost_weight < 0:
+            raise ValueError(f"cost_weight must be non-negative, got {cost_weight}")
+        self.num_particles = num_particles
+        self.max_iterations = max_iterations
+        self.inertia = inertia
+        self.cognitive = cognitive
+        self.social = social
+        self.mutation_rate = mutation_rate
+        self.cost_weight = cost_weight
+
+    @property
+    def name(self) -> str:
+        return "pso"
+
+    # -- fitness -----------------------------------------------------------------
+
+    def _fitness(self, positions: np.ndarray, ctx: SchedulingContext) -> np.ndarray:
+        """Vectorised fitness of a (particles, n) position block (lower = better)."""
+        arr = ctx.arrays
+        p, n = positions.shape
+        m = ctx.num_vms
+        capacity = arr.vm_mips * arr.vm_pes
+        # Per-particle per-VM work via one bincount over offset indices.
+        offsets = (np.arange(p)[:, None] * m + positions).ravel()
+        lengths = np.broadcast_to(arr.cloudlet_length, (p, n)).ravel()
+        work = np.bincount(offsets, weights=lengths, minlength=p * m).reshape(p, m)
+        makespan = (work / capacity).max(axis=1)
+        if self.cost_weight == 0:
+            return makespan
+        dc = arr.vm_datacenter[positions]  # (p, n)
+        exec_secs = np.broadcast_to(arr.cloudlet_length, (p, n)) / (
+            arr.vm_mips[positions] * arr.vm_pes[positions]
+        )
+        cost = (
+            arr.dc_cost_per_cpu[dc] * exec_secs
+            + arr.dc_cost_per_mem[dc] * arr.vm_ram[positions]
+            + arr.dc_cost_per_storage[dc] * arr.vm_size[positions]
+            + arr.dc_cost_per_bw[dc]
+            * (arr.cloudlet_file_size + arr.cloudlet_output_size)
+        ).sum(axis=1)
+        # Normalise each objective by its swarm mean so the weight is scale-free.
+        mk = makespan / max(makespan.mean(), 1e-12)
+        co = cost / max(cost.mean(), 1e-12)
+        return mk + self.cost_weight * co
+
+    # -- scheduling ---------------------------------------------------------------
+
+    def schedule(self, context: SchedulingContext) -> SchedulingResult:
+        n, m = context.num_cloudlets, context.num_vms
+        rng = context.rng
+        p = self.num_particles
+
+        positions = rng.integers(0, m, size=(p, n), dtype=np.int64)
+        fitness = self._fitness(positions, context)
+        pbest = positions.copy()
+        pbest_fit = fitness.copy()
+        g = int(np.argmin(fitness))
+        gbest = positions[g].copy()
+        gbest_fit = float(fitness[g])
+
+        pull = self.cognitive + self.social
+        p_pbest = (1 - self.inertia) * self.cognitive / pull
+        p_gbest = (1 - self.inertia) * self.social / pull
+
+        for _ in range(self.max_iterations):
+            u = rng.random((p, n))
+            take_pbest = u < p_pbest
+            take_gbest = (u >= p_pbest) & (u < p_pbest + p_gbest)
+            positions = np.where(take_pbest, pbest, positions)
+            positions = np.where(take_gbest, np.broadcast_to(gbest, (p, n)), positions)
+            mutate = rng.random((p, n)) < self.mutation_rate
+            if mutate.any():
+                positions = np.where(
+                    mutate, rng.integers(0, m, size=(p, n), dtype=np.int64), positions
+                )
+            fitness = self._fitness(positions, context)
+            improved = fitness < pbest_fit
+            pbest[improved] = positions[improved]
+            pbest_fit[improved] = fitness[improved]
+            g = int(np.argmin(pbest_fit))
+            if pbest_fit[g] < gbest_fit:
+                gbest = pbest[g].copy()
+                gbest_fit = float(pbest_fit[g])
+
+        return SchedulingResult(
+            assignment=gbest,
+            scheduler_name=self.name,
+            info={"best_fitness": gbest_fit, "iterations": self.max_iterations},
+        )
+
+
+__all__ = ["ParticleSwarmScheduler"]

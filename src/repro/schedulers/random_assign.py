@@ -1,0 +1,27 @@
+"""Uniform random assignment — the weakest sensible baseline.
+
+Every cloudlet draws a VM uniformly at random.  Useful to anchor the
+metric scales: any scheduler worth running should beat this on makespan in
+heterogeneous scenarios.
+"""
+
+from __future__ import annotations
+
+from repro.schedulers.base import Scheduler, SchedulingContext, SchedulingResult
+
+
+class RandomScheduler(Scheduler):
+    """Assign each cloudlet to a uniformly random VM."""
+
+    @property
+    def name(self) -> str:
+        return "random"
+
+    def schedule(self, context: SchedulingContext) -> SchedulingResult:
+        assignment = context.rng.integers(
+            0, context.num_vms, size=context.num_cloudlets, dtype="int64"
+        )
+        return SchedulingResult(assignment=assignment, scheduler_name=self.name)
+
+
+__all__ = ["RandomScheduler"]

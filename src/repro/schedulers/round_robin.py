@@ -1,0 +1,41 @@
+"""The paper's "Base Test": CloudSim's default cyclic broker.
+
+Assigns cloudlet ``i`` to VM ``i mod num_vms`` — "vm1 to c1, vm2 to c2,
+vm1 to c3 and so forth" (Section VI-A).  In the homogeneous scenario this
+is the optimal schedule, which is exactly why the paper uses it as the
+reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.schedulers.base import Scheduler, SchedulingContext, SchedulingResult
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cyclic cloudlet→VM assignment (zero decision cost).
+
+    Parameters
+    ----------
+    start_offset:
+        Index of the VM that receives the first cloudlet; the paper starts
+        at VM 0.
+    """
+
+    def __init__(self, start_offset: int = 0) -> None:
+        if start_offset < 0:
+            raise ValueError(f"start_offset must be non-negative, got {start_offset}")
+        self.start_offset = start_offset
+
+    @property
+    def name(self) -> str:
+        return "basetest"
+
+    def schedule(self, context: SchedulingContext) -> SchedulingResult:
+        n, m = context.num_cloudlets, context.num_vms
+        assignment = (np.arange(n, dtype=np.int64) + self.start_offset) % m
+        return SchedulingResult(assignment=assignment, scheduler_name=self.name)
+
+
+__all__ = ["RoundRobinScheduler"]

@@ -1,0 +1,53 @@
+"""Workload and scenario generation.
+
+``spec`` holds the value objects (VM / cloudlet / datacenter specs and the
+:class:`~repro.workloads.spec.ScenarioSpec` bundle).  ``homogeneous`` and
+``heterogeneous`` encode the paper's two experimental setups (Tables III-VII).
+``synthetic`` provides a general distribution-driven generator used by the
+extension experiments, and ``traces`` round-trips scenarios through CSV/JSON
+for offline workloads.
+"""
+
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    BatchArrivals,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    UniformArrivals,
+)
+from repro.workloads.heterogeneous import heterogeneous_scenario
+from repro.workloads.homogeneous import homogeneous_scenario
+from repro.workloads.spec import (
+    CloudletSpec,
+    DatacenterSpec,
+    ScenarioSpec,
+    VmSpec,
+)
+from repro.workloads.synthetic import (
+    DistributionSpec,
+    SyntheticWorkloadBuilder,
+)
+from repro.workloads.tracelike import diurnal_arrivals_for, tracelike_scenario
+from repro.workloads.traces import load_scenario, save_scenario
+
+__all__ = [
+    "VmSpec",
+    "CloudletSpec",
+    "DatacenterSpec",
+    "ScenarioSpec",
+    "homogeneous_scenario",
+    "heterogeneous_scenario",
+    "DistributionSpec",
+    "SyntheticWorkloadBuilder",
+    "save_scenario",
+    "load_scenario",
+    "ArrivalProcess",
+    "BatchArrivals",
+    "UniformArrivals",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "tracelike_scenario",
+    "diurnal_arrivals_for",
+]

@@ -1,0 +1,105 @@
+"""Scenario persistence.
+
+Serialises :class:`~repro.workloads.spec.ScenarioSpec` to a single JSON
+document so experiments can be frozen, diffed and replayed.  The format is
+versioned; loading refuses unknown versions rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cloud.characteristics import DatacenterCharacteristics
+from repro.workloads.spec import CloudletSpec, DatacenterSpec, ScenarioSpec, VmSpec
+
+_FORMAT_VERSION = 1
+
+
+def scenario_to_dict(spec: ScenarioSpec) -> dict:
+    """Plain-dict form of a scenario (JSON-serialisable)."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": spec.name,
+        "seed": spec.seed,
+        "datacenters": [
+            {
+                "cost_per_mem": d.characteristics.cost_per_mem,
+                "cost_per_storage": d.characteristics.cost_per_storage,
+                "cost_per_bw": d.characteristics.cost_per_bw,
+                "cost_per_cpu": d.characteristics.cost_per_cpu,
+                "host_pes": d.host_pes,
+                "host_mips": d.host_mips,
+                "host_ram": d.host_ram,
+                "host_bw": d.host_bw,
+                "host_storage": d.host_storage,
+            }
+            for d in spec.datacenters
+        ],
+        "vms": [
+            {"mips": v.mips, "pes": v.pes, "ram": v.ram, "bw": v.bw, "size": v.size}
+            for v in spec.vms
+        ],
+        "cloudlets": [
+            {
+                "length": c.length,
+                "pes": c.pes,
+                "file_size": c.file_size,
+                "output_size": c.output_size,
+            }
+            for c in spec.cloudlets
+        ],
+        "vm_datacenter": list(spec.vm_datacenter),
+    }
+
+
+def scenario_from_dict(data: dict) -> ScenarioSpec:
+    """Inverse of :func:`scenario_to_dict`."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported scenario format version {version!r} (expected {_FORMAT_VERSION})"
+        )
+    datacenters = tuple(
+        DatacenterSpec(
+            characteristics=DatacenterCharacteristics(
+                cost_per_mem=d["cost_per_mem"],
+                cost_per_storage=d["cost_per_storage"],
+                cost_per_bw=d["cost_per_bw"],
+                cost_per_cpu=d["cost_per_cpu"],
+            ),
+            host_pes=d["host_pes"],
+            host_mips=d["host_mips"],
+            host_ram=d["host_ram"],
+            host_bw=d["host_bw"],
+            host_storage=d["host_storage"],
+        )
+        for d in data["datacenters"]
+    )
+    vms = tuple(VmSpec(**v) for v in data["vms"])
+    cloudlets = tuple(CloudletSpec(**c) for c in data["cloudlets"])
+    return ScenarioSpec(
+        name=data["name"],
+        datacenters=datacenters,
+        vms=vms,
+        cloudlets=cloudlets,
+        vm_datacenter=tuple(data["vm_datacenter"]),
+        seed=data.get("seed"),
+    )
+
+
+def save_scenario(spec: ScenarioSpec, path: str | Path) -> Path:
+    """Write a scenario to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(scenario_to_dict(spec), indent=2))
+    return path
+
+
+def load_scenario(path: str | Path) -> ScenarioSpec:
+    """Read a scenario previously written by :func:`save_scenario`."""
+    data = json.loads(Path(path).read_text())
+    return scenario_from_dict(data)
+
+
+__all__ = ["scenario_to_dict", "scenario_from_dict", "save_scenario", "load_scenario"]

@@ -1,0 +1,55 @@
+"""ASCII plotting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        text = ascii_plot([1, 2, 3], {"up": [1.0, 2.0, 3.0], "down": [3.0, 2.0, 1.0]})
+        assert "A=up" in text
+        assert "B=down" in text
+        lines = text.splitlines()
+        assert any("A" in line for line in lines)
+
+    def test_title_and_labels(self):
+        text = ascii_plot(
+            [1, 2], {"s": [1.0, 2.0]}, title="My Chart", xlabel="x", ylabel="y"
+        )
+        assert "My Chart" in text
+        assert "[x vs y]" in text
+
+    def test_log_scale(self):
+        text = ascii_plot(
+            [1, 2], {"s": [0.001, 1000.0]}, xlabel="x", ylabel="y", logy=True
+        )
+        assert "(log y)" in text
+
+    def test_constant_series_does_not_crash(self):
+        assert ascii_plot([1, 2, 3], {"flat": [5.0, 5.0, 5.0]})
+
+    def test_single_point(self):
+        assert ascii_plot([1], {"dot": [2.0]})
+
+    def test_zero_values_on_log_scale(self):
+        assert ascii_plot([1, 2], {"s": [0.0, 10.0]}, logy=True)
+
+    def test_empty_x_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ascii_plot([], {})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            ascii_plot([1, 2], {"s": [1.0]})
+
+    def test_too_small_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1], {"s": [1.0]}, width=5)
+
+    def test_many_series_cycle_markers(self):
+        series = {f"s{i}": [float(i), float(i + 1)] for i in range(14)}
+        text = ascii_plot([1, 2], series)
+        assert "A=s0" in text

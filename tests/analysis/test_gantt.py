@@ -1,0 +1,67 @@
+"""ASCII Gantt rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.gantt import gantt_chart
+from repro.cloud.fast import FastSimulation
+from repro.schedulers import GreedyMinCompletionScheduler, RoundRobinScheduler
+from repro.schedulers.classics import MinimumExecutionTimeScheduler
+from repro.workloads.heterogeneous import heterogeneous_scenario
+
+
+@pytest.fixture(scope="module")
+def result():
+    scenario = heterogeneous_scenario(6, 40, seed=2)
+    return FastSimulation(scenario, RoundRobinScheduler(), seed=2).run()
+
+
+class TestGantt:
+    def test_one_row_per_vm_plus_frame(self, result):
+        chart = gantt_chart(result, num_vms=6)
+        lines = chart.splitlines()
+        vm_lines = [ln for ln in lines if "|" in ln]
+        assert len(vm_lines) == 6
+        assert "makespan" in lines[0]
+
+    def test_busy_vm_has_marks(self, result):
+        chart = gantt_chart(result, num_vms=6)
+        assert "#" in chart
+
+    def test_row_for_idle_vm_is_blank(self):
+        scenario = heterogeneous_scenario(6, 40, seed=2)
+        met = FastSimulation(scenario, MinimumExecutionTimeScheduler(), seed=2).run()
+        chart = gantt_chart(met, num_vms=6)
+        vm_lines = [ln for ln in chart.splitlines() if "|" in ln]
+        blank = [ln for ln in vm_lines if set(ln.split("|")[1]) == {" "}]
+        # MET loads one VM; the other five are idle.
+        assert len(blank) == 5
+
+    def test_truncation_keeps_extremes(self):
+        scenario = heterogeneous_scenario(30, 120, seed=1)
+        res = FastSimulation(scenario, GreedyMinCompletionScheduler(), seed=1).run()
+        chart = gantt_chart(res, max_rows=6)
+        assert "omitted" in chart
+        vm_lines = [ln for ln in chart.splitlines() if "|" in ln]
+        assert len(vm_lines) == 6
+
+    def test_validation(self, result):
+        with pytest.raises(ValueError):
+            gantt_chart(result, width=5)
+        with pytest.raises(ValueError):
+            gantt_chart(result, max_rows=1)
+
+    def test_busy_fraction_matches_exec_time(self, result):
+        # Sum of busy bucket fractions approximates total exec per VM.
+        chart = gantt_chart(result, num_vms=6, width=60)
+        total_marks = sum(
+            line.count("#") + 0.5 * line.count("-")
+            for line in chart.splitlines()
+            if "|" in line
+        )
+        bucket = result.finish_times.max() / 60
+        approx_busy = total_marks * bucket
+        true_busy = float(result.exec_times.sum())
+        assert approx_busy == pytest.approx(true_busy, rel=0.35)

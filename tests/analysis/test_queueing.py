@@ -1,0 +1,75 @@
+"""Queueing formula unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.queueing import (
+    erlang_c,
+    little_l,
+    mm1_mean_number_in_system,
+    mm1_mean_sojourn,
+    mm1_mean_wait,
+    mmc_mean_sojourn,
+    mmc_mean_wait,
+    utilization,
+)
+
+
+class TestMm1:
+    def test_sojourn_formula(self):
+        assert mm1_mean_sojourn(0.5, 1.0) == pytest.approx(2.0)
+
+    def test_wait_is_sojourn_minus_service(self):
+        assert mm1_mean_wait(0.5, 1.0) == pytest.approx(
+            mm1_mean_sojourn(0.5, 1.0) - 1.0
+        )
+
+    def test_littles_law_consistency(self):
+        lam, mu = 0.7, 1.0
+        assert mm1_mean_number_in_system(lam, mu) == pytest.approx(
+            little_l(lam, mm1_mean_sojourn(lam, mu))
+        )
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError, match="unstable"):
+            mm1_mean_sojourn(2.0, 1.0)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            mm1_mean_sojourn(0.0, 1.0)
+        with pytest.raises(ValueError):
+            utilization(1.0, -1.0)
+
+
+class TestErlangMmc:
+    def test_single_server_reduces_to_mm1(self):
+        lam, mu = 0.6, 1.0
+        assert mmc_mean_wait(lam, mu, 1) == pytest.approx(mm1_mean_wait(lam, mu))
+        assert mmc_mean_sojourn(lam, mu, 1) == pytest.approx(mm1_mean_sojourn(lam, mu))
+
+    def test_erlang_c_known_value(self):
+        # Classic table value: c=2, a=1 Erlang -> P(wait) = 1/3.
+        assert erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0)
+
+    def test_erlang_c_probability_bounds(self):
+        for servers, load in [(1, 0.5), (4, 3.0), (10, 7.5)]:
+            p = erlang_c(servers, load)
+            assert 0.0 < p < 1.0
+
+    def test_more_servers_less_waiting(self):
+        lam, mu = 3.0, 1.0
+        assert mmc_mean_wait(lam, mu, 4) < mmc_mean_wait(lam, mu, 5) or (
+            mmc_mean_wait(lam, mu, 5) < mmc_mean_wait(lam, mu, 4)
+        )
+        assert mmc_mean_wait(lam, mu, 8) < mmc_mean_wait(lam, mu, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erlang_c(0, 1.0)
+        with pytest.raises(ValueError):
+            erlang_c(2, 2.0)
+        with pytest.raises(ValueError):
+            erlang_c(2, 0.0)
+        with pytest.raises(ValueError):
+            little_l(0.0, 1.0)

@@ -1,0 +1,78 @@
+"""Markdown report generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report_md import (
+    markdown_checks,
+    markdown_figure,
+    markdown_report,
+    markdown_table,
+    write_markdown_report,
+)
+from repro.experiments.figures import FigureData
+
+
+@pytest.fixture
+def data() -> FigureData:
+    return FigureData(
+        experiment_id="fig6d",
+        title="Processing cost, heterogeneous",
+        xlabel="number of virtual machines",
+        ylabel="processing cost",
+        x=[50, 150, 250],
+        series={
+            "honeybee": [48000.0, 48500.0, 48700.0],
+            "basetest": [63000.0, 63300.0, 63500.0],
+            "antcolony": [58000.0, 57900.0, 57800.0],
+            "rbs": [62900.0, 63200.0, 63400.0],
+        },
+        ci={k: [0.0, 0.0, 0.0] for k in ("honeybee", "basetest", "antcolony", "rbs")},
+    )
+
+
+class TestMarkdownTable:
+    def test_structure(self, data):
+        table = markdown_table(data)
+        lines = table.splitlines()
+        assert lines[0].startswith("| num_vms |")
+        assert lines[1].startswith("|---")
+        assert len(lines) == 2 + 3
+
+    def test_row_limiting_keeps_endpoints(self, data):
+        table = markdown_table(data, max_rows=2)
+        assert "| 50 |" in table
+        assert "| 250 |" in table
+
+    def test_custom_x_key(self, data):
+        data.x_key = "slack_factor"
+        assert "| slack_factor |" in markdown_table(data)
+
+
+class TestMarkdownFigure:
+    def test_header_and_checks(self, data):
+        text = markdown_figure(data)
+        assert text.startswith("### fig6d — Processing cost")
+        assert "**PASS** `hbo-cheapest`" in text
+
+    def test_checks_report_failures(self, data):
+        data.series["honeybee"] = [99999.0, 99999.0, 99999.0]
+        assert "**FAIL**" in markdown_checks(data)
+
+    def test_unknown_figure_has_no_checks(self, data):
+        data.experiment_id = "ext-custom"
+        assert markdown_checks(data) == ""
+
+
+class TestReport:
+    def test_full_document(self, data):
+        doc = markdown_report([data], title="Results", preamble="Intro text.")
+        assert doc.startswith("# Results")
+        assert "Intro text." in doc
+        assert doc.endswith("\n")
+
+    def test_write_to_disk(self, data, tmp_path):
+        path = write_markdown_report([data], tmp_path / "out" / "report.md")
+        assert path.exists()
+        assert "fig6d" in path.read_text()

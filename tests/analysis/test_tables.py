@@ -1,0 +1,56 @@
+"""Tables and CSV export."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.analysis.tables import format_table, write_csv
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "--" in lines[1]
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        text = format_table([{"v": 3.14159265358979}])
+        assert "3.14159" in text
+
+    def test_missing_keys_render_blank(self):
+        text = format_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert text  # no KeyError
+
+    def test_explicit_columns(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_empty_rows(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_bool_and_none(self):
+        text = format_table([{"flag": True, "nothing": None}])
+        assert "True" in text
+
+
+class TestWriteCsv:
+    def test_writes_and_reads_back(self, tmp_path):
+        rows = [{"x": 1, "y": 2.5}, {"x": 3, "y": 4.5}]
+        path = write_csv(rows, tmp_path / "out" / "data.csv")
+        with path.open() as fh:
+            back = list(csv.DictReader(fh))
+        assert back[0]["x"] == "1"
+        assert back[1]["y"] == "4.5"
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv([], tmp_path / "x.csv")
+
+    def test_column_selection(self, tmp_path):
+        path = write_csv([{"a": 1, "b": 2}], tmp_path / "x.csv", columns=["a"])
+        assert "b" not in path.read_text()

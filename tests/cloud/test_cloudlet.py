@@ -1,0 +1,68 @@
+"""Cloudlet value object and lifecycle."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cloud.cloudlet import Cloudlet, CloudletStatus
+
+
+class TestValidation:
+    def test_defaults(self):
+        c = Cloudlet(cloudlet_id=1, length=250.0)
+        assert c.pes == 1
+        assert c.status is CloudletStatus.CREATED
+        assert c.remaining_length == 250.0
+
+    @pytest.mark.parametrize("length", [0.0, -1.0])
+    def test_nonpositive_length_rejected(self, length):
+        with pytest.raises(ValueError, match="length"):
+            Cloudlet(cloudlet_id=1, length=length)
+
+    def test_zero_pes_rejected(self):
+        with pytest.raises(ValueError, match="pes"):
+            Cloudlet(cloudlet_id=1, length=10.0, pes=0)
+
+    def test_negative_file_size_rejected(self):
+        with pytest.raises(ValueError, match="file sizes"):
+            Cloudlet(cloudlet_id=1, length=10.0, file_size=-1.0)
+
+
+class TestLifecycle:
+    def test_submission_marks_metadata(self):
+        c = Cloudlet(cloudlet_id=1, length=100.0)
+        c.mark_submitted(time=3.0, vm_id=7, datacenter_id=2)
+        assert c.status is CloudletStatus.QUEUED
+        assert (c.submission_time, c.vm_id, c.datacenter_id) == (3.0, 7, 2)
+
+    def test_running_records_first_start_only(self):
+        c = Cloudlet(cloudlet_id=1, length=100.0)
+        c.mark_running(5.0)
+        c.mark_running(9.0)
+        assert c.exec_start_time == 5.0
+        assert c.status is CloudletStatus.RUNNING
+
+    def test_finish_zeroes_remaining(self):
+        c = Cloudlet(cloudlet_id=1, length=100.0)
+        c.mark_running(0.0)
+        c.mark_finished(10.0)
+        assert c.is_finished
+        assert c.remaining_length == 0.0
+        assert c.finish_time == 10.0
+
+    def test_wall_execution_time(self):
+        c = Cloudlet(cloudlet_id=1, length=100.0)
+        assert math.isnan(c.wall_execution_time)
+        c.mark_submitted(0.0, 0, 0)
+        c.mark_running(2.0)
+        c.mark_finished(12.0)
+        assert c.wall_execution_time == 10.0
+
+    def test_waiting_time(self):
+        c = Cloudlet(cloudlet_id=1, length=100.0)
+        assert math.isnan(c.waiting_time)
+        c.mark_submitted(1.0, 0, 0)
+        c.mark_running(4.0)
+        assert c.waiting_time == 3.0

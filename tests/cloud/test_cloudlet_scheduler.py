@@ -1,0 +1,257 @@
+"""Per-VM execution models: space-shared FIFO and time-shared processor sharing."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cloud.cloudlet import Cloudlet, CloudletStatus
+from repro.cloud.cloudlet_scheduler import (
+    CloudletSchedulerSpaceShared,
+    CloudletSchedulerTimeShared,
+)
+
+
+def make_cloudlet(i: int, length: float, pes: int = 1) -> Cloudlet:
+    return Cloudlet(cloudlet_id=i, length=length, pes=pes)
+
+
+def bound(cls, mips=1000.0, pes=1):
+    s = cls()
+    s.bind(mips=mips, pes=pes)
+    return s
+
+
+class TestBinding:
+    @pytest.mark.parametrize(
+        "cls", [CloudletSchedulerSpaceShared, CloudletSchedulerTimeShared]
+    )
+    def test_unbound_rejects_operations(self, cls):
+        s = cls()
+        with pytest.raises(RuntimeError, match="not bound"):
+            s.submit(make_cloudlet(0, 100.0), now=0.0)
+        with pytest.raises(RuntimeError, match="not bound"):
+            s.advance_to(1.0)
+
+    def test_double_bind_rejected(self):
+        s = CloudletSchedulerSpaceShared()
+        s.bind(mips=100.0, pes=1)
+        with pytest.raises(RuntimeError, match="already bound"):
+            s.bind(mips=100.0, pes=1)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            CloudletSchedulerSpaceShared().bind(mips=0.0, pes=1)
+        with pytest.raises(ValueError):
+            CloudletSchedulerSpaceShared().bind(mips=10.0, pes=0)
+
+
+class TestSpaceShared:
+    def test_single_cloudlet_exact_finish(self):
+        s = bound(CloudletSchedulerSpaceShared, mips=1000.0)
+        c = make_cloudlet(0, 2500.0)
+        s.submit(c, now=0.0)
+        assert s.next_completion_time() == 2.5
+        done = s.advance_to(2.5)
+        assert done == [c]
+        assert c.finish_time == 2.5
+        assert c.exec_start_time == 0.0
+        assert not s.busy
+
+    def test_fifo_queueing_on_single_pe(self):
+        s = bound(CloudletSchedulerSpaceShared, mips=1000.0)
+        a, b = make_cloudlet(0, 1000.0), make_cloudlet(1, 2000.0)
+        s.submit(a, now=0.0)
+        s.submit(b, now=0.0)
+        # b waits for a: finishes at 1.0 then 3.0.
+        finished = s.advance_to(10.0)
+        assert [c.cloudlet_id for c in finished] == [0, 1]
+        assert a.finish_time == 1.0
+        assert b.exec_start_time == 1.0
+        assert b.finish_time == 3.0
+
+    def test_parallel_on_multiple_pes(self):
+        s = bound(CloudletSchedulerSpaceShared, mips=1000.0, pes=2)
+        a, b, c = (make_cloudlet(i, 1000.0 * (i + 1)) for i in range(3))
+        for cl in (a, b, c):
+            s.submit(cl, now=0.0)
+        finished = s.advance_to(10.0)
+        assert a.finish_time == 1.0
+        assert b.finish_time == 2.0
+        # c starts when a's PE frees at t=1.
+        assert c.exec_start_time == 1.0
+        assert c.finish_time == 4.0
+        assert len(finished) == 3
+
+    def test_advance_partial_returns_only_finished(self):
+        s = bound(CloudletSchedulerSpaceShared, mips=1000.0)
+        a, b = make_cloudlet(0, 1000.0), make_cloudlet(1, 1000.0)
+        s.submit(a, now=0.0)
+        s.submit(b, now=0.0)
+        assert s.advance_to(1.5) == [a]
+        assert s.busy
+        assert s.advance_to(2.0) == [b]
+
+    def test_advance_is_idempotent(self):
+        s = bound(CloudletSchedulerSpaceShared, mips=1000.0)
+        s.submit(make_cloudlet(0, 1000.0), now=0.0)
+        s.advance_to(5.0)
+        assert s.advance_to(5.0) == []
+
+    def test_late_submission_starts_at_submit_time(self):
+        s = bound(CloudletSchedulerSpaceShared, mips=1000.0)
+        c = make_cloudlet(0, 1000.0)
+        s.submit(c, now=4.0)
+        s.advance_to(10.0)
+        assert c.exec_start_time == 4.0
+        assert c.finish_time == 5.0
+
+    def test_cloudlet_needing_more_pes_than_vm_rejected(self):
+        s = bound(CloudletSchedulerSpaceShared, mips=1000.0, pes=1)
+        with pytest.raises(ValueError, match="PEs"):
+            s.submit(make_cloudlet(0, 100.0, pes=2), now=0.0)
+
+    def test_resident_cloudlets_lists_running_and_queued(self):
+        s = bound(CloudletSchedulerSpaceShared, mips=1000.0)
+        a, b = make_cloudlet(0, 1000.0), make_cloudlet(1, 1000.0)
+        s.submit(a, now=0.0)
+        s.submit(b, now=0.0)
+        assert {c.cloudlet_id for c in s.resident_cloudlets()} == {0, 1}
+
+    def test_next_completion_infinite_when_idle(self):
+        s = bound(CloudletSchedulerSpaceShared)
+        assert s.next_completion_time() == math.inf
+
+
+class TestTimeShared:
+    def test_single_cloudlet_runs_at_full_speed(self):
+        s = bound(CloudletSchedulerTimeShared, mips=1000.0)
+        c = make_cloudlet(0, 3000.0)
+        s.submit(c, now=0.0)
+        assert s.next_completion_time() == 3.0
+        assert s.advance_to(3.0) == [c]
+        assert c.finish_time == 3.0
+
+    def test_two_equal_cloudlets_share_capacity(self):
+        s = bound(CloudletSchedulerTimeShared, mips=1000.0)
+        a, b = make_cloudlet(0, 1000.0), make_cloudlet(1, 1000.0)
+        s.submit(a, now=0.0)
+        s.submit(b, now=0.0)
+        finished = s.advance_to(10.0)
+        # Each gets 500 MIPS: both finish at t=2.
+        assert {c.finish_time for c in finished} == {2.0}
+
+    def test_short_task_speeds_up_after_departure(self):
+        s = bound(CloudletSchedulerTimeShared, mips=1000.0)
+        short, long = make_cloudlet(0, 500.0), make_cloudlet(1, 1500.0)
+        s.submit(short, now=0.0)
+        s.submit(long, now=0.0)
+        s.advance_to(10.0)
+        # Shared until short finishes at t=1 (500 each); long then runs
+        # alone: 1000 MI left at 1000 MIPS -> finishes t=2.
+        assert short.finish_time == pytest.approx(1.0)
+        assert long.finish_time == pytest.approx(2.0)
+
+    def test_per_cloudlet_rate_capped_at_one_pe(self):
+        s = bound(CloudletSchedulerTimeShared, mips=1000.0, pes=4)
+        a = make_cloudlet(0, 1000.0)
+        b = make_cloudlet(1, 1000.0)
+        s.submit(a, now=0.0)
+        s.submit(b, now=0.0)
+        # 2 cloudlets on 4 PEs: each capped at 1000 MIPS, not 2000.
+        s.advance_to(10.0)
+        assert a.finish_time == pytest.approx(1.0)
+        assert b.finish_time == pytest.approx(1.0)
+
+    def test_mid_flight_arrival_slows_resident(self):
+        s = bound(CloudletSchedulerTimeShared, mips=1000.0)
+        a = make_cloudlet(0, 1000.0)
+        s.submit(a, now=0.0)
+        b = make_cloudlet(1, 1000.0)
+        s.submit(b, now=0.5)
+        s.advance_to(10.0)
+        # a ran alone 0.5s (500 MI left), then shares: 500/500 = 1.0s more.
+        assert a.finish_time == pytest.approx(1.5)
+        # b: 1.0s shared (500 MI done), then alone: 500/1000 = 0.5s more.
+        assert b.finish_time == pytest.approx(2.0)
+
+    def test_cloudlet_needing_more_pes_than_vm_rejected(self):
+        s = bound(CloudletSchedulerTimeShared, mips=1000.0, pes=1)
+        with pytest.raises(ValueError, match="PEs"):
+            s.submit(make_cloudlet(0, 100.0, pes=2), now=0.0)
+
+    def test_statuses_progress(self):
+        s = bound(CloudletSchedulerTimeShared, mips=1000.0)
+        c = make_cloudlet(0, 100.0)
+        s.submit(c, now=0.0)
+        assert c.status is CloudletStatus.RUNNING
+        s.advance_to(1.0)
+        assert c.status is CloudletStatus.SUCCESS
+
+
+class TestPropertyBased:
+    @given(
+        lengths=st.lists(
+            st.floats(min_value=1.0, max_value=1e4), min_size=1, max_size=30
+        ),
+        mips=st.floats(min_value=10.0, max_value=5000.0),
+    )
+    def test_space_shared_single_pe_matches_prefix_sums(self, lengths, mips):
+        s = CloudletSchedulerSpaceShared()
+        s.bind(mips=mips, pes=1)
+        cloudlets = [make_cloudlet(i, ln) for i, ln in enumerate(lengths)]
+        for c in cloudlets:
+            s.submit(c, now=0.0)
+        finished = s.advance_to(math.fsum(lengths) / mips + 1.0)
+        assert len(finished) == len(cloudlets)
+        expected_finish = np.cumsum([ln / mips for ln in lengths])
+        for c, ef in zip(cloudlets, expected_finish):
+            assert c.finish_time == pytest.approx(ef, rel=1e-9)
+
+    @given(
+        lengths=st.lists(
+            st.floats(min_value=1.0, max_value=1e4), min_size=1, max_size=20
+        ),
+        mips=st.floats(min_value=10.0, max_value=5000.0),
+        pes=st.integers(min_value=1, max_value=4),
+    )
+    def test_space_shared_conserves_work(self, lengths, mips, pes):
+        s = CloudletSchedulerSpaceShared()
+        s.bind(mips=mips, pes=pes)
+        cloudlets = [make_cloudlet(i, ln) for i, ln in enumerate(lengths)]
+        for c in cloudlets:
+            s.submit(c, now=0.0)
+        horizon = math.fsum(lengths) / mips + 1.0
+        finished = s.advance_to(horizon)
+        assert len(finished) == len(cloudlets)
+        for c, ln in zip(cloudlets, lengths):
+            # Each cloudlet occupies a PE for exactly length/mips seconds.
+            assert c.wall_execution_time == pytest.approx(ln / mips, rel=1e-9)
+        # Makespan bounded below by work conservation.
+        makespan = max(c.finish_time for c in cloudlets)
+        assert makespan >= math.fsum(lengths) / (mips * pes) - 1e-9
+
+    @given(
+        lengths=st.lists(
+            st.floats(min_value=1.0, max_value=1e4), min_size=1, max_size=20
+        ),
+        mips=st.floats(min_value=10.0, max_value=5000.0),
+    )
+    def test_time_shared_completion_order_is_by_length(self, lengths, mips):
+        s = CloudletSchedulerTimeShared()
+        s.bind(mips=mips, pes=1)
+        cloudlets = [make_cloudlet(i, ln) for i, ln in enumerate(lengths)]
+        for c in cloudlets:
+            s.submit(c, now=0.0)
+        finished = s.advance_to(math.fsum(lengths) / mips + 1.0)
+        assert len(finished) == len(cloudlets)
+        finish_by_length = sorted(cloudlets, key=lambda c: c.length)
+        finishes = [c.finish_time for c in finish_by_length]
+        assert all(a <= b + 1e-9 for a, b in zip(finishes, finishes[1:]))
+        # Total busy time equals total work / mips for single PE.
+        makespan = max(c.finish_time for c in cloudlets)
+        assert makespan == pytest.approx(math.fsum(lengths) / mips, rel=1e-6)

@@ -1,0 +1,90 @@
+"""Host-level placement energy analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.consolidation import (
+    compare_placement_policies,
+    place_vms,
+    placement_energy,
+)
+from repro.cloud.power import PowerModelLinear
+from repro.cloud.simulation import CloudSimulation
+from repro.cloud.vm_allocation import (
+    VmAllocationConsolidating,
+    VmAllocationLeastUsed,
+)
+from repro.schedulers import RoundRobinScheduler
+from repro.workloads.heterogeneous import heterogeneous_scenario
+
+
+@pytest.fixture(scope="module")
+def batch():
+    scenario = heterogeneous_scenario(num_vms=24, num_cloudlets=120, seed=4)
+    result = CloudSimulation(scenario, RoundRobinScheduler(), seed=4).run()
+    return scenario, result
+
+
+class TestPlaceVms:
+    def test_every_vm_placed(self, batch):
+        scenario, _ = batch
+        hosts_per_dc, vm_host = place_vms(scenario, VmAllocationLeastUsed())
+        assert len(vm_host) == scenario.num_vms
+        placed = sum(h.vm_count for hosts in hosts_per_dc for h in hosts)
+        assert placed == scenario.num_vms
+
+    def test_consolidating_uses_fewer_or_equal_hosts(self, batch):
+        scenario, _ = batch
+
+        def active(policy):
+            hosts_per_dc, _ = place_vms(scenario, policy)
+            return sum(
+                1 for hosts in hosts_per_dc for h in hosts if h.vm_count > 0
+            )
+
+        assert active(VmAllocationConsolidating()) <= active(VmAllocationLeastUsed())
+
+
+class TestPlacementEnergy:
+    def test_report_fields(self, batch):
+        scenario, result = batch
+        report = placement_energy(scenario, result, VmAllocationLeastUsed())
+        assert report.energy_joules > 0
+        assert 0 < report.active_hosts <= report.total_hosts
+        assert report.idle_host_count == report.total_hosts - report.active_hosts
+        assert len(report.vm_host) == scenario.num_vms
+
+    def test_consolidation_saves_energy(self, batch):
+        scenario, result = batch
+        reports = compare_placement_policies(
+            scenario,
+            result,
+            {
+                "spread": VmAllocationLeastUsed(),
+                "pack": VmAllocationConsolidating(),
+            },
+        )
+        if reports["pack"].active_hosts < reports["spread"].active_hosts:
+            assert reports["pack"].energy_joules < reports["spread"].energy_joules
+        else:
+            assert reports["pack"].energy_joules == pytest.approx(
+                reports["spread"].energy_joules, rel=0.05
+            )
+
+    def test_energy_scales_with_idle_power(self, batch):
+        scenario, result = batch
+        low = placement_energy(
+            scenario, result, VmAllocationLeastUsed(), PowerModelLinear(10.0, 250.0)
+        )
+        high = placement_energy(
+            scenario, result, VmAllocationLeastUsed(), PowerModelLinear(200.0, 250.0)
+        )
+        assert high.energy_joules > low.energy_joules
+
+    def test_energy_floor_is_idle_times_active_hosts(self, batch):
+        scenario, result = batch
+        model = PowerModelLinear(100.0, 250.0)
+        report = placement_energy(scenario, result, VmAllocationLeastUsed(), model)
+        floor = report.active_hosts * result.makespan * 100.0
+        assert report.energy_joules >= floor

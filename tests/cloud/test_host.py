@@ -1,0 +1,93 @@
+"""Host VM placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.host import Host
+from repro.cloud.vm import Vm
+
+
+def make_host(**kwargs) -> Host:
+    defaults = dict(
+        host_id=0, mips_per_pe=2000.0, pes=4, ram=4096.0, bw=2000.0, storage=20000.0
+    )
+    defaults.update(kwargs)
+    return Host(**defaults)
+
+
+def make_vm(vm_id=0, **kwargs) -> Vm:
+    defaults = dict(mips=1000.0, pes=1, ram=512.0, bw=500.0, size=5000.0)
+    defaults.update(kwargs)
+    return Vm(vm_id=vm_id, **defaults)
+
+
+class TestSuitability:
+    def test_fitting_vm_is_suitable(self):
+        assert make_host().is_suitable_for(make_vm())
+
+    def test_vm_faster_than_pe_is_unsuitable(self):
+        assert not make_host(mips_per_pe=500.0).is_suitable_for(make_vm(mips=1000.0))
+
+    def test_vm_with_too_many_pes_unsuitable(self):
+        assert not make_host(pes=1).is_suitable_for(make_vm(pes=2))
+
+    @pytest.mark.parametrize(
+        "attr,value",
+        [("ram", 8192.0), ("bw", 4000.0), ("size", 50000.0)],
+    )
+    def test_resource_shortages_unsuitable(self, attr, value):
+        assert not make_host().is_suitable_for(make_vm(**{attr: value}))
+
+
+class TestPlacement:
+    def test_create_vm_reserves_resources(self):
+        host = make_host()
+        vm = make_vm()
+        assert host.create_vm(vm)
+        assert vm.host is host
+        assert host.vm_count == 1
+        assert host.free_pes == 3
+        assert host.ram_provisioner.available == 4096.0 - 512.0
+        assert host.available_storage == 15000.0
+
+    def test_create_rejects_when_full(self):
+        host = make_host(pes=1)
+        assert host.create_vm(make_vm(vm_id=0))
+        assert not host.create_vm(make_vm(vm_id=1))
+
+    def test_duplicate_vm_id_rejected(self):
+        host = make_host()
+        host.create_vm(make_vm(vm_id=0))
+        with pytest.raises(ValueError, match="already"):
+            host.create_vm(make_vm(vm_id=0))
+
+    def test_destroy_releases_everything(self):
+        host = make_host()
+        vm = make_vm()
+        host.create_vm(vm)
+        host.destroy_vm(vm)
+        assert vm.host is None
+        assert host.vm_count == 0
+        assert host.free_pes == 4
+        assert host.available_storage == 20000.0
+
+    def test_destroy_unknown_vm_rejected(self):
+        with pytest.raises(ValueError, match="not on host"):
+            make_host().destroy_vm(make_vm())
+
+    def test_iter_vms(self):
+        host = make_host()
+        vms = [make_vm(vm_id=i) for i in range(3)]
+        for vm in vms:
+            host.create_vm(vm)
+        assert list(host.iter_vms()) == vms
+
+    def test_total_mips(self):
+        assert make_host().total_mips == 8000.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            make_host(pes=0)
+        with pytest.raises(ValueError):
+            make_host(mips_per_pe=0.0)

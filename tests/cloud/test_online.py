@@ -1,0 +1,131 @@
+"""Online simulation: arrival-driven scheduling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud.online import OnlineCloudSimulation
+from repro.cloud.simulation import CloudSimulation
+from repro.schedulers import RoundRobinScheduler
+from repro.schedulers.online import (
+    BatchAdapter,
+    OnlineGreedyMCT,
+    OnlineLeastLoaded,
+    OnlineRandom,
+    OnlineRoundRobin,
+)
+from repro.workloads.arrivals import BatchArrivals, PoissonArrivals, UniformArrivals
+from repro.workloads.heterogeneous import heterogeneous_scenario
+
+ALL_POLICIES = [
+    OnlineRoundRobin,
+    OnlineRandom,
+    OnlineLeastLoaded,
+    OnlineGreedyMCT,
+]
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy_cls", ALL_POLICIES)
+    def test_end_to_end(self, small_hetero, policy_cls):
+        result = OnlineCloudSimulation(
+            small_hetero, policy_cls(), arrivals=PoissonArrivals(rate=5.0), seed=1
+        ).run()
+        assert result.num_cloudlets == 60
+        assert result.makespan > 0
+        assert (result.assignment >= 0).all()
+        assert result.info["engine"] == "online-des"
+
+    def test_round_robin_cycles(self, small_hetero):
+        result = OnlineCloudSimulation(
+            small_hetero, OnlineRoundRobin(), arrivals=UniformArrivals(0.01), seed=0
+        ).run()
+        np.testing.assert_array_equal(result.assignment, np.arange(60) % 12)
+
+    def test_least_loaded_balances_backlog(self):
+        scenario = heterogeneous_scenario(num_vms=6, num_cloudlets=120, seed=4)
+        result = OnlineCloudSimulation(
+            scenario, OnlineLeastLoaded(), arrivals=BatchArrivals(), seed=0
+        ).run()
+        busy = np.zeros(6)
+        np.add.at(busy, result.assignment, result.exec_times)
+        assert busy.max() / busy.min() < 3.0
+
+    def test_greedy_beats_round_robin_on_makespan(self):
+        scenario = heterogeneous_scenario(num_vms=10, num_cloudlets=200, seed=4)
+        greedy = OnlineCloudSimulation(
+            scenario, OnlineGreedyMCT(), arrivals=BatchArrivals(), seed=0
+        ).run()
+        rr = OnlineCloudSimulation(
+            scenario, OnlineRoundRobin(), arrivals=BatchArrivals(), seed=0
+        ).run()
+        assert greedy.makespan < rr.makespan
+
+    def test_flow_time_accounts_for_arrivals(self, small_hetero):
+        result = OnlineCloudSimulation(
+            small_hetero, OnlineGreedyMCT(), arrivals=UniformArrivals(1.0), seed=0
+        ).run()
+        # Starts cannot precede arrivals.
+        assert (result.start_times >= result.submission_times - 1e-9).all()
+        assert result.average_waiting_time >= 0
+
+    def test_decision_time_recorded(self, small_hetero):
+        result = OnlineCloudSimulation(
+            small_hetero, OnlineGreedyMCT(), seed=0
+        ).run()
+        assert result.scheduling_time > 0
+
+
+class TestBatchAdapter:
+    def test_single_wave_matches_offline_batch(self, small_hetero):
+        """With batch arrivals there is exactly one wave, so the adapter must
+        reproduce the offline batch run of the wrapped scheduler."""
+        online = OnlineCloudSimulation(
+            small_hetero,
+            BatchAdapter(RoundRobinScheduler()),
+            arrivals=BatchArrivals(),
+            seed=0,
+        ).run()
+        offline = CloudSimulation(small_hetero, RoundRobinScheduler(), seed=0).run()
+        np.testing.assert_array_equal(online.assignment, offline.assignment)
+        assert online.makespan == pytest.approx(offline.makespan)
+
+    def test_many_waves_still_complete(self, small_hetero):
+        result = OnlineCloudSimulation(
+            small_hetero,
+            BatchAdapter(RoundRobinScheduler()),
+            arrivals=UniformArrivals(0.5),
+            seed=0,
+        ).run()
+        assert result.num_cloudlets == 60
+        assert result.scheduler_name == "batch[basetest]"
+
+    def test_adapter_requires_wave_setup(self, tiny_context):
+        adapter = BatchAdapter(RoundRobinScheduler())
+        adapter.start(tiny_context)
+        with pytest.raises(RuntimeError, match="begin_wave"):
+            adapter.assign(0, 0.0, np.zeros(4), tiny_context)
+
+    def test_online_aware_policy_beats_blind_batch_under_load(self):
+        """Under sustained arrivals, backlog-aware greedy must beat a batch
+        scheduler that re-solves each wave blindly."""
+        scenario = heterogeneous_scenario(num_vms=8, num_cloudlets=240, seed=9)
+        arrivals = UniformArrivals(interval=0.05)
+        greedy = OnlineCloudSimulation(
+            scenario, OnlineGreedyMCT(), arrivals=arrivals, seed=0
+        ).run()
+        blind = OnlineCloudSimulation(
+            scenario, BatchAdapter(RoundRobinScheduler()), arrivals=arrivals, seed=0
+        ).run()
+        assert greedy.makespan < blind.makespan
+
+
+class TestValidation:
+    def test_policy_returning_bad_vm_detected(self, small_hetero):
+        class Broken(OnlineRoundRobin):
+            def assign(self, cloudlet_idx, now, backlog, context):
+                return 10_000
+
+        with pytest.raises(ValueError, match="invalid VM index"):
+            OnlineCloudSimulation(small_hetero, Broken(), seed=0).run()

@@ -1,0 +1,72 @@
+"""Resource provisioners: capacity accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.provisioners import (
+    BwProvisioner,
+    PeProvisioner,
+    RamProvisioner,
+    ResourceProvisioner,
+)
+
+
+class TestResourceProvisioner:
+    def test_allocate_within_capacity(self):
+        p = ResourceProvisioner(100.0)
+        assert p.allocate(1, 60.0)
+        assert p.available == 40.0
+        assert p.allocated_for(1) == 60.0
+
+    def test_allocate_beyond_capacity_fails(self):
+        p = ResourceProvisioner(100.0)
+        assert p.allocate(1, 80.0)
+        assert not p.allocate(2, 30.0)
+        assert p.allocated_for(2) == 0.0
+
+    def test_reallocate_replaces_not_adds(self):
+        p = ResourceProvisioner(100.0)
+        p.allocate(1, 80.0)
+        assert p.allocate(1, 90.0)  # replacing 80 with 90 fits
+        assert p.total_allocated == 90.0
+
+    def test_deallocate_returns_amount(self):
+        p = ResourceProvisioner(100.0)
+        p.allocate(1, 30.0)
+        assert p.deallocate(1) == 30.0
+        assert p.deallocate(1) == 0.0
+        assert p.available == 100.0
+
+    def test_can_allocate(self):
+        p = ResourceProvisioner(10.0)
+        assert p.can_allocate(10.0)
+        assert not p.can_allocate(10.5)
+
+    def test_negative_amount_rejected(self):
+        p = ResourceProvisioner(10.0)
+        with pytest.raises(ValueError, match="negative"):
+            p.can_allocate(-1.0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceProvisioner(-5.0)
+
+    def test_reset(self):
+        p = ResourceProvisioner(10.0)
+        p.allocate(1, 5.0)
+        p.reset()
+        assert p.available == 10.0
+
+
+class TestSpecialisations:
+    def test_names(self):
+        assert RamProvisioner(1.0).name == "ram"
+        assert BwProvisioner(1.0).name == "bw"
+        assert PeProvisioner(1).name == "pes"
+
+    def test_pe_provisioner_requires_integral(self):
+        p = PeProvisioner(4)
+        assert p.allocate(1, 2)
+        with pytest.raises(ValueError, match="integral"):
+            p.allocate(2, 1.5)

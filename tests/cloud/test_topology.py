@@ -1,0 +1,67 @@
+"""Network topologies."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.cloud.topology import (
+    DelayMatrixTopology,
+    GraphTopology,
+    ZeroLatencyTopology,
+)
+
+
+class TestZeroLatency:
+    def test_always_zero(self):
+        t = ZeroLatencyTopology()
+        assert t.latency(0, 1) == 0.0
+        assert t.latency(5, 5) == 0.0
+
+
+class TestDelayMatrix:
+    def test_lookup(self):
+        m = np.array([[0.0, 1.5], [2.5, 0.0]])
+        t = DelayMatrixTopology(m)
+        assert t.latency(0, 1) == 1.5
+        assert t.latency(1, 0) == 2.5
+        assert t.size == 2
+
+    def test_out_of_range_uses_default(self):
+        t = DelayMatrixTopology(np.zeros((2, 2)), default_latency=9.0)
+        assert t.latency(0, 5) == 9.0
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            DelayMatrixTopology(np.zeros((2, 3)))
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            DelayMatrixTopology(np.array([[0.0, -1.0], [0.0, 0.0]]))
+
+    def test_negative_default_rejected(self):
+        with pytest.raises(ValueError):
+            DelayMatrixTopology(np.zeros((2, 2)), default_latency=-1.0)
+
+
+class TestGraphTopology:
+    def test_shortest_path_latency(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=2.0)
+        g.add_edge(1, 2, weight=3.0)
+        g.add_edge(0, 2, weight=10.0)
+        t = GraphTopology(g)
+        assert t.latency(0, 2) == 5.0  # through node 1
+        assert t.latency(2, 0) == 5.0
+
+    def test_self_latency_zero(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, weight=1.0)
+        assert GraphTopology(g).latency(0, 0) == 0.0
+
+    def test_disconnected_uses_default(self):
+        g = nx.Graph()
+        g.add_nodes_from([0, 1])
+        t = GraphTopology(g, default_latency=7.0)
+        assert t.latency(0, 1) == 7.0

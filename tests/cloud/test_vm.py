@@ -1,0 +1,54 @@
+"""Vm construction and scheduler binding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.cloudlet_scheduler import (
+    CloudletSchedulerSpaceShared,
+    CloudletSchedulerTimeShared,
+)
+from repro.cloud.vm import Vm
+
+
+class TestConstruction:
+    def test_defaults_match_table_iii(self):
+        vm = Vm(vm_id=0, mips=1000.0)
+        assert (vm.pes, vm.ram, vm.bw, vm.size) == (1, 512.0, 500.0, 5000.0)
+
+    def test_total_mips(self):
+        assert Vm(vm_id=0, mips=1000.0, pes=4).total_mips == 4000.0
+
+    @pytest.mark.parametrize("mips", [0.0, -5.0])
+    def test_nonpositive_mips_rejected(self, mips):
+        with pytest.raises(ValueError, match="mips"):
+            Vm(vm_id=0, mips=mips)
+
+    def test_zero_pes_rejected(self):
+        with pytest.raises(ValueError, match="pes"):
+            Vm(vm_id=0, mips=100.0, pes=0)
+
+    def test_negative_resources_rejected(self):
+        with pytest.raises(ValueError):
+            Vm(vm_id=0, mips=100.0, ram=-1.0)
+
+    def test_default_scheduler_is_space_shared(self):
+        vm = Vm(vm_id=0, mips=1000.0)
+        assert isinstance(vm.cloudlet_scheduler, CloudletSchedulerSpaceShared)
+
+    def test_custom_scheduler_bound_to_capacity(self):
+        scheduler = CloudletSchedulerTimeShared()
+        vm = Vm(vm_id=0, mips=2000.0, pes=2, cloudlet_scheduler=scheduler)
+        assert scheduler.mips == 2000.0
+        assert scheduler.pes == 2
+        assert vm.cloudlet_scheduler is scheduler
+
+    def test_scheduler_cannot_be_shared_between_vms(self):
+        scheduler = CloudletSchedulerSpaceShared()
+        Vm(vm_id=0, mips=1000.0, cloudlet_scheduler=scheduler)
+        with pytest.raises(RuntimeError, match="already bound"):
+            Vm(vm_id=1, mips=1000.0, cloudlet_scheduler=scheduler)
+
+    def test_is_created_tracks_host(self):
+        vm = Vm(vm_id=0, mips=1000.0)
+        assert not vm.is_created

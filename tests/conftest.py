@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.schedulers.base import SchedulingContext
+from repro.workloads.heterogeneous import heterogeneous_scenario
+from repro.workloads.homogeneous import homogeneous_scenario
+from repro.workloads.spec import (
+    CloudletSpec,
+    DatacenterSpec,
+    ScenarioSpec,
+    VmSpec,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_scenario() -> ScenarioSpec:
+    """4 hand-built heterogeneous VMs in 2 datacenters, 8 cloudlets."""
+    from repro.cloud.characteristics import DatacenterCharacteristics
+
+    return ScenarioSpec(
+        name="tiny",
+        datacenters=(
+            DatacenterSpec(
+                characteristics=DatacenterCharacteristics(
+                    cost_per_mem=0.01, cost_per_storage=0.001, cost_per_bw=0.01
+                )
+            ),
+            DatacenterSpec(
+                characteristics=DatacenterCharacteristics(
+                    cost_per_mem=0.05, cost_per_storage=0.004, cost_per_bw=0.05
+                )
+            ),
+        ),
+        vms=(
+            VmSpec(mips=500.0),
+            VmSpec(mips=1000.0),
+            VmSpec(mips=2000.0),
+            VmSpec(mips=4000.0),
+        ),
+        cloudlets=tuple(
+            CloudletSpec(length=float(length))
+            for length in (1000, 2000, 4000, 8000, 16000, 3000, 5000, 7000)
+        ),
+        vm_datacenter=(0, 1, 0, 1),
+        seed=7,
+    )
+
+
+@pytest.fixture
+def tiny_context(tiny_scenario) -> SchedulingContext:
+    return SchedulingContext.from_scenario(tiny_scenario, seed=42)
+
+
+@pytest.fixture
+def small_hetero() -> ScenarioSpec:
+    return heterogeneous_scenario(num_vms=12, num_cloudlets=60, num_datacenters=3, seed=5)
+
+
+@pytest.fixture
+def small_homog() -> ScenarioSpec:
+    return homogeneous_scenario(num_vms=10, num_cloudlets=55, num_datacenters=2, seed=5)

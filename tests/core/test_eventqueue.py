@@ -1,0 +1,170 @@
+"""EventQueue: ordering, cancellation, liveness."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.eventqueue import EventQueue
+from repro.core.tags import EventTag
+
+
+def make_queue() -> EventQueue:
+    return EventQueue()
+
+
+class TestPushPop:
+    def test_empty_queue_is_falsy(self):
+        q = make_queue()
+        assert not q
+        assert len(q) == 0
+        assert q.peek() is None
+        assert q.next_time() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            make_queue().pop()
+
+    def test_single_event_roundtrip(self):
+        q = make_queue()
+        e = q.push(time=5.0, src=0, dst=1, tag=EventTag.NONE, data="x")
+        assert len(q) == 1
+        assert q.peek() is e
+        assert q.next_time() == 5.0
+        assert q.pop() is e
+        assert not q
+
+    def test_orders_by_time(self):
+        q = make_queue()
+        q.push(time=3.0, src=0, dst=0, tag=EventTag.NONE, data="c")
+        q.push(time=1.0, src=0, dst=0, tag=EventTag.NONE, data="a")
+        q.push(time=2.0, src=0, dst=0, tag=EventTag.NONE, data="b")
+        assert [q.pop().data for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_for_simultaneous_events(self):
+        q = make_queue()
+        for i in range(10):
+            q.push(time=1.0, src=0, dst=0, tag=EventTag.NONE, data=i)
+        assert [q.pop().data for _ in range(10)] == list(range(10))
+
+    def test_priority_breaks_time_ties(self):
+        q = make_queue()
+        q.push(time=1.0, src=0, dst=0, tag=EventTag.NONE, data="late", priority=5)
+        q.push(time=1.0, src=0, dst=0, tag=EventTag.NONE, data="early", priority=0)
+        assert q.pop().data == "early"
+        assert q.pop().data == "late"
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            make_queue().push(time=-1.0, src=0, dst=0, tag=EventTag.NONE)
+
+    def test_event_fields(self):
+        q = make_queue()
+        e = q.push(time=2.0, src=3, dst=4, tag=EventTag.VM_CREATE, data={"k": 1})
+        assert (e.time, e.src, e.dst, e.tag, e.data) == (
+            2.0,
+            3,
+            4,
+            EventTag.VM_CREATE,
+            {"k": 1},
+        )
+
+
+class TestCancellation:
+    def test_cancel_removes_from_pop(self):
+        q = make_queue()
+        a = q.push(time=1.0, src=0, dst=0, tag=EventTag.NONE, data="a")
+        b = q.push(time=2.0, src=0, dst=0, tag=EventTag.NONE, data="b")
+        assert q.cancel(a)
+        assert len(q) == 1
+        assert q.pop() is b
+
+    def test_cancel_twice_returns_false(self):
+        q = make_queue()
+        e = q.push(time=1.0, src=0, dst=0, tag=EventTag.NONE)
+        assert q.cancel(e)
+        assert not q.cancel(e)
+        assert len(q) == 0
+
+    def test_cancelled_head_skipped_by_peek(self):
+        q = make_queue()
+        a = q.push(time=1.0, src=0, dst=0, tag=EventTag.NONE, data="a")
+        b = q.push(time=2.0, src=0, dst=0, tag=EventTag.NONE, data="b")
+        q.cancel(a)
+        assert q.peek() is b
+        assert q.next_time() == 2.0
+
+    def test_cancel_where_matches_predicate(self):
+        q = make_queue()
+        for i in range(6):
+            q.push(time=float(i), src=0, dst=i % 2, tag=EventTag.NONE, data=i)
+        n = q.cancel_where(lambda e: e.dst == 0)
+        assert n == 3
+        remaining = [q.pop().data for _ in range(len(q))]
+        assert remaining == [1, 3, 5]
+
+    def test_cancel_where_ignores_already_dead(self):
+        q = make_queue()
+        e = q.push(time=1.0, src=0, dst=0, tag=EventTag.NONE)
+        q.cancel(e)
+        assert q.cancel_where(lambda _: True) == 0
+
+    def test_clear(self):
+        q = make_queue()
+        for i in range(5):
+            q.push(time=float(i), src=0, dst=0, tag=EventTag.NONE)
+        q.clear()
+        assert not q
+        assert q.peek() is None
+
+    def test_iter_live_excludes_cancelled(self):
+        q = make_queue()
+        a = q.push(time=1.0, src=0, dst=0, tag=EventTag.NONE, data="a")
+        q.push(time=2.0, src=0, dst=0, tag=EventTag.NONE, data="b")
+        q.cancel(a)
+        assert [e.data for e in q.iter_live()] == ["b"]
+
+
+class TestPropertyBased:
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+    def test_pop_order_is_sorted(self, times):
+        q = make_queue()
+        for t in times:
+            q.push(time=t, src=0, dst=0, tag=EventTag.NONE)
+        popped = [q.pop().time for _ in range(len(times))]
+        assert popped == sorted(popped)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(min_value=0, max_value=100), st.booleans()),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_live_count_matches_survivors(self, entries):
+        q = make_queue()
+        events = [
+            q.push(time=t, src=0, dst=0, tag=EventTag.NONE) for t, _ in entries
+        ]
+        survivors = 0
+        for event, (_, keep) in zip(events, entries):
+            if keep:
+                survivors += 1
+            else:
+                q.cancel(event)
+        assert len(q) == survivors
+        assert sum(1 for _ in q.iter_live()) == survivors
+        popped = 0
+        while q:
+            q.pop()
+            popped += 1
+        assert popped == survivors
+
+    @given(st.data())
+    def test_same_time_events_preserve_insertion_order(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=50))
+        q = make_queue()
+        for i in range(n):
+            q.push(time=1.0, src=0, dst=0, tag=EventTag.NONE, data=i)
+        assert [q.pop().data for _ in range(n)] == list(range(n))

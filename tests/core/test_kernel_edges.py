@@ -1,0 +1,93 @@
+"""Remaining kernel edge branches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import Simulation
+from repro.core.entity import Entity
+from repro.core.eventqueue import EventQueue
+from repro.core.tags import EventTag
+
+
+class Sink(Entity):
+    def __init__(self, name="sink"):
+        super().__init__(name)
+        self.received = []
+
+    def process_event(self, event):
+        self.received.append(event)
+
+
+class TestEventQueueEdges:
+    def test_clear_then_reuse(self):
+        q = EventQueue()
+        q.push(time=1.0, src=0, dst=0, tag=EventTag.NONE)
+        q.clear()
+        e = q.push(time=2.0, src=0, dst=0, tag=EventTag.NONE)
+        assert q.pop() is e
+
+    def test_cancel_all_then_next_time_none(self):
+        q = EventQueue()
+        e = q.push(time=1.0, src=0, dst=0, tag=EventTag.NONE)
+        q.cancel(e)
+        assert q.next_time() is None
+        assert not q
+
+    def test_sort_key_exposed(self):
+        q = EventQueue()
+        e = q.push(time=3.0, src=0, dst=0, tag=EventTag.NONE, priority=2)
+        assert e.sort_key() == (3.0, 2, e.serial)
+
+
+class TestSimulationEdges:
+    def test_step_runs_start_hooks_once(self):
+        sim = Simulation()
+
+        class Starter(Sink):
+            def __init__(self):
+                super().__init__("starter")
+                self.starts = 0
+
+            def start(self):
+                self.starts += 1
+
+        s = Starter()
+        sim.register(s)
+        sim.schedule(delay=1.0, src=-1, dst=0, tag=EventTag.NONE)
+        sim.schedule(delay=2.0, src=-1, dst=0, tag=EventTag.NONE)
+        sim.step()
+        sim.step()
+        assert s.starts == 1
+
+    def test_trace_in_step_mode(self):
+        sim = Simulation(trace=True)
+        sim.register(Sink())
+        sim.schedule(delay=1.0, src=-1, dst=0, tag=EventTag.NONE, data="x")
+        sim.step()
+        assert sim.trace_log[0].data == "x"
+
+    def test_cancel_where_through_simulation(self):
+        sim = Simulation()
+        sink = Sink()
+        sim.register(sink)
+        for i in range(4):
+            sim.schedule(delay=float(i + 1), src=-1, dst=0, tag=EventTag.NONE, data=i)
+        assert sim.cancel_where(lambda e: e.data in (1, 2)) == 2
+        assert sim.pending_events() == 2
+        sim.run()
+        assert [e.data for e in sink.received] == [0, 3]
+
+    def test_until_exactly_on_event_time_delivers_it(self):
+        sim = Simulation()
+        sink = Sink()
+        sim.register(sink)
+        sim.schedule(delay=5.0, src=-1, dst=0, tag=EventTag.NONE)
+        sim.run(until=5.0)
+        assert len(sink.received) == 1
+
+    def test_empty_simulation_run_is_noop(self):
+        sim = Simulation()
+        sim.register(Sink())
+        assert sim.run() == 0.0
+        assert sim.events_processed == 0

@@ -1,0 +1,79 @@
+"""Extension experiments (energy / online / SLA)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.extensions import (
+    EXTENSION_EXPERIMENTS,
+    run_ext_energy,
+    run_ext_online,
+    run_ext_sla,
+)
+from repro.experiments.figures import FigureData
+
+
+@pytest.fixture(autouse=True)
+def shrink_sizes(monkeypatch):
+    """Make the extension sweeps CI-sized."""
+    from repro.experiments import extensions
+
+    monkeypatch.setattr(extensions, "_sizes", lambda preset: (60, 10, (0,)))
+
+
+class TestRegistry:
+    def test_three_extensions_registered(self):
+        assert set(EXTENSION_EXPERIMENTS) == {"ext-energy", "ext-online", "ext-sla"}
+
+    def test_cli_accepts_extension_target(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["ext-energy", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "ext-energy" in out
+        assert (tmp_path / "ext-energy.csv").exists()
+
+    def test_list_mentions_extensions(self, capsys):
+        from repro.experiments.__main__ import main
+
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "ext-sla" in out
+
+
+class TestEnergy:
+    def test_series_shape_and_hbo_efficiency(self):
+        data = run_ext_energy("quick")
+        assert isinstance(data, FigureData)
+        assert set(data.series) == {"antcolony", "basetest", "honeybee", "rbs"}
+        # Faster completion -> less idle burn: the metaheuristics must use
+        # less energy than the Base Test at every sweep point.
+        for i in range(len(data.x)):
+            assert data.series["antcolony"][i] < data.series["basetest"][i]
+        assert all(v > 0 for ys in data.series.values() for v in ys)
+
+
+class TestOnline:
+    def test_flow_time_grows_with_rate_pressure(self):
+        data = run_ext_online("quick")
+        assert data.x_key == "arrival_rate"
+        # Less arrival spacing (higher rate) cannot reduce mean flow time.
+        for name in ("online-roundrobin", "online-greedy-mct"):
+            ys = data.series[name]
+            assert ys[-1] >= ys[0]
+        # Load-aware beats blind cyclic at the highest pressure point.
+        assert data.series["online-greedy-mct"][-1] < data.series["online-roundrobin"][-1]
+
+
+class TestSla:
+    def test_violations_fall_with_slack(self):
+        data = run_ext_sla("quick")
+        assert data.x_key == "slack_factor"
+        for name, ys in data.series.items():
+            assert ys[0] >= ys[-1], name
+            assert all(0.0 <= v <= 100.0 for v in ys)
+        # EDF never worse than the Base Test on average across the sweep.
+        assert np.mean(data.series["deadline-edf"]) <= np.mean(
+            data.series["basetest"]
+        ) + 1.0

@@ -1,0 +1,167 @@
+"""Report rendering and the CLI entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import build_parser, main
+from repro.experiments.figures import FigureData
+from repro.experiments.report import figure_rows, render_figure, save_figure
+
+
+@pytest.fixture
+def figure_data() -> FigureData:
+    return FigureData(
+        experiment_id="fig6d",
+        title="Processing cost, heterogeneous",
+        xlabel="number of virtual machines",
+        ylabel="processing cost",
+        x=[50, 150],
+        series={
+            "antcolony": [100.0, 95.0],
+            "basetest": [102.0, 98.0],
+            "honeybee": [60.0, 55.0],
+            "rbs": [101.0, 97.0],
+        },
+        ci={
+            "antcolony": [1.0, 1.0],
+            "basetest": [0.0, 0.0],
+            "honeybee": [2.0, 2.0],
+            "rbs": [1.5, 1.5],
+        },
+    )
+
+
+class TestReport:
+    def test_figure_rows_wide_format(self, figure_data):
+        rows = figure_rows(figure_data)
+        assert rows[0]["num_vms"] == 50
+        assert rows[0]["honeybee"] == 60.0
+        assert len(rows) == 2
+
+    def test_render_contains_table_plot_and_checks(self, figure_data):
+        text = render_figure(figure_data)
+        assert "fig6d" in text
+        assert "num_vms" in text
+        assert "A=antcolony" in text
+        assert "hbo-cheapest" in text  # shape check ran
+        assert "[PASS]" in text
+
+    def test_save_figure_writes_csv(self, figure_data, tmp_path):
+        path = save_figure(figure_data, tmp_path)
+        assert path.name == "fig6d.csv"
+        content = path.read_text()
+        assert "scheduler" in content
+        assert "honeybee" in content
+
+
+class TestCli:
+    def test_list_target(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4a" in out and "fig6d" in out
+
+    def test_unknown_target(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig6a"])
+        assert args.preset == "quick"
+        assert not args.verbose
+
+    def test_end_to_end_tiny(self, monkeypatch, tmp_path, capsys):
+        from repro.experiments import figures as figures_module
+        from repro.experiments.scenarios import SweepConfig
+
+        tiny = SweepConfig(
+            vm_counts=(4,),
+            num_cloudlets=8,
+            seeds=(0,),
+            scheduler_kwargs={"antcolony": {"num_ants": 2, "max_iterations": 1}},
+        )
+        monkeypatch.setattr(
+            figures_module.ExperimentDefinition, "config", lambda self, preset: tiny
+        )
+        assert main(["fig6d", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fig6d" in out
+        assert (tmp_path / "fig6d.csv").exists()
+
+
+class TestCompareTarget:
+    def test_compare_prints_table(self, capsys):
+        assert (
+            main(
+                [
+                    "compare",
+                    "--schedulers",
+                    "basetest,greedy-mct",
+                    "--vms",
+                    "6",
+                    "--cloudlets",
+                    "30",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "basetest" in out and "greedy-mct" in out
+        assert "makespan_s" in out
+
+    def test_compare_homogeneous(self, capsys):
+        assert (
+            main(
+                [
+                    "compare",
+                    "--schedulers",
+                    "basetest",
+                    "--scenario",
+                    "homogeneous",
+                    "--vms",
+                    "4",
+                    "--cloudlets",
+                    "20",
+                ]
+            )
+            == 0
+        )
+        assert "homogeneous" in capsys.readouterr().out
+
+    def test_compare_unknown_scheduler(self, capsys):
+        assert main(["compare", "--schedulers", "quantum"]) == 2
+        assert "unknown scheduler" in capsys.readouterr().err
+
+
+class TestFigureJsonRoundTrip:
+    def test_round_trip(self, figure_data, tmp_path):
+        from repro.experiments.report import load_figure_json, save_figure_json
+
+        path = save_figure_json(figure_data, tmp_path)
+        restored = load_figure_json(path)
+        assert restored.experiment_id == figure_data.experiment_id
+        assert restored.series == figure_data.series
+        assert restored.ci == figure_data.ci
+        assert restored.x == figure_data.x
+        assert restored.x_key == figure_data.x_key
+
+    def test_rerender_from_json(self, figure_data, tmp_path):
+        from repro.experiments.report import (
+            load_figure_json,
+            render_figure,
+            save_figure_json,
+        )
+
+        path = save_figure_json(figure_data, tmp_path)
+        text = render_figure(load_figure_json(path))
+        assert "hbo-cheapest" in text
+
+    def test_unknown_version_rejected(self, figure_data):
+        from repro.experiments.figures import FigureData
+
+        bad = figure_data.to_json_dict()
+        bad["format_version"] = 9
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError, match="format version"):
+            FigureData.from_json_dict(bad)

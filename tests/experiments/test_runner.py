@@ -1,0 +1,102 @@
+"""Sweep runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import SweepRecord, run_point, run_sweep
+from repro.schedulers import RoundRobinScheduler
+from repro.schedulers.random_assign import RandomScheduler
+from repro.workloads.heterogeneous import heterogeneous_scenario
+
+
+def factory(num_vms, num_cloudlets, seed):
+    return heterogeneous_scenario(num_vms, num_cloudlets, num_datacenters=2, seed=seed)
+
+
+class TestRunPoint:
+    def test_des_engine(self, small_hetero):
+        result = run_point(small_hetero, RoundRobinScheduler(), seed=0, engine="des")
+        assert result.events_processed > 0
+
+    def test_fast_engine(self, small_hetero):
+        result = run_point(small_hetero, RoundRobinScheduler(), seed=0, engine="fast")
+        assert result.events_processed == 0
+        assert result.info["engine"] == "fast"
+
+    def test_unknown_engine(self, small_hetero):
+        with pytest.raises(ValueError, match="engine"):
+            run_point(small_hetero, RoundRobinScheduler(), seed=0, engine="warp")
+
+
+class TestRunSweep:
+    def test_grid_size(self):
+        records = run_sweep(
+            scenario_factory=factory,
+            scheduler_factories={
+                "basetest": RoundRobinScheduler,
+                "random": RandomScheduler,
+            },
+            vm_counts=[4, 8],
+            num_cloudlets=20,
+            seeds=[0, 1],
+            engine="fast",
+        )
+        assert len(records) == 2 * 2 * 2
+        assert {r.scheduler for r in records} == {"basetest", "random"}
+        assert {r.num_vms for r in records} == {4, 8}
+        assert {r.seed for r in records} == {0, 1}
+
+    def test_records_have_metrics(self):
+        records = run_sweep(
+            scenario_factory=factory,
+            scheduler_factories={"basetest": RoundRobinScheduler},
+            vm_counts=[4],
+            num_cloudlets=12,
+            engine="des",
+        )
+        r = records[0]
+        assert r.makespan > 0
+        assert r.scheduling_time >= 0
+        assert r.total_cost > 0
+        assert r.num_cloudlets == 12
+
+    def test_metric_lookup(self):
+        record = SweepRecord(
+            scheduler="x",
+            num_vms=1,
+            num_cloudlets=1,
+            seed=0,
+            scheduling_time=0.5,
+            makespan=2.0,
+            time_imbalance=0.1,
+            total_cost=9.0,
+            events_processed=3,
+        )
+        assert record.metric("makespan") == 2.0
+        assert record.metric("total_cost") == 9.0
+        with pytest.raises(ValueError, match="unknown metric"):
+            record.metric("latency")
+
+    def test_factory_name_mismatch_detected(self):
+        with pytest.raises(RuntimeError, match="produced scheduler"):
+            run_sweep(
+                scenario_factory=factory,
+                scheduler_factories={"mislabeled": RoundRobinScheduler},
+                vm_counts=[4],
+                num_cloudlets=5,
+                engine="fast",
+            )
+
+    def test_progress_callback_called(self):
+        lines = []
+        run_sweep(
+            scenario_factory=factory,
+            scheduler_factories={"basetest": RoundRobinScheduler},
+            vm_counts=[4],
+            num_cloudlets=5,
+            engine="fast",
+            progress=lines.append,
+        )
+        assert len(lines) == 1
+        assert "basetest" in lines[0]

@@ -1,0 +1,72 @@
+"""Golden regression values.
+
+Every scheduler's metric triple (makespan, time imbalance, total cost) on a
+fixed (scenario, seed) cell, pinned exactly.  The whole stack is
+deterministic given seeds, so any diff here means an *intentional*
+algorithm change — update the constants together with EXPERIMENTS.md when
+that happens — or an accidental regression.
+
+Scheduling wall-clock time is excluded (machine-dependent); values are
+compared at 1e-9 relative tolerance to allow cross-platform float noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.fast import FastSimulation
+from repro.schedulers import SCHEDULER_REGISTRY, make_scheduler
+from repro.workloads.heterogeneous import heterogeneous_scenario
+from repro.workloads.homogeneous import homogeneous_scenario
+
+LIGHT_KWARGS = {
+    "antcolony": {"num_ants": 5, "max_iterations": 2},
+    "pso": {"num_particles": 6, "max_iterations": 5},
+    "ga": {"population_size": 8, "generations": 5},
+    "annealing": {"iterations": 500},
+}
+
+#: (makespan, time_imbalance, total_cost) on heterogeneous(10, 80, seed=123).
+HETERO_GOLDEN = {
+    "annealing": (52.15350448252469, 3.742667958332733, 4923.243207509197),
+    "antcolony": (38.01593765452112, 3.299289293698334, 4796.113998031495),
+    "basetest": (103.44418118571517, 4.9683915979078535, 5109.045361441469),
+    "deadline-edf": (35.701117770885155, 4.644589136077443, 4816.779998154683),
+    "ga": (61.27707944960118, 4.680091883497093, 4932.6466858354),
+    "greedy-mct": (35.2709971763677, 2.102770507457777, 4769.107790147569),
+    "honeybee": (76.76817001566086, 5.815640807184024, 4636.7188195093195),
+    "hybrid": (41.880845162155275, 5.679948893478283, 4822.731066670206),
+    "maxmin": (32.47613958963537, 4.262682007047077, 4860.379679393935),
+    "met": (205.00492592702005, 1.9598353990306092, 5164.546449968171),
+    "minmin": (35.701117770885155, 4.644589136077443, 4816.779998154683),
+    "olb": (40.74789455928223, 6.529358371165535, 4883.333984213054),
+    "priority-cost": (41.50944846605594, 1.861998595030674, 4750.785719927772),
+    "pso": (73.38786098799302, 3.93268332402028, 5069.02654335025),
+    "random": (98.24111293626889, 4.117580357117303, 5098.287576960826),
+    "rbs": (107.54796852181991, 4.835339169658334, 5151.058261666766),
+}
+
+#: basetest on homogeneous(8, 50, seed=123) — exact rationals.
+HOMOG_BASETEST = (1.75, 0.0, 1567.4999999999998)
+
+
+class TestGoldenValues:
+    def test_every_scheduler_has_a_golden_entry(self):
+        assert set(HETERO_GOLDEN) == set(SCHEDULER_REGISTRY)
+
+    @pytest.mark.parametrize("name", sorted(HETERO_GOLDEN))
+    def test_heterogeneous_metrics_pinned(self, name):
+        scenario = heterogeneous_scenario(10, 80, seed=123)
+        scheduler = make_scheduler(name, **LIGHT_KWARGS.get(name, {}))
+        result = FastSimulation(scenario, scheduler, seed=123).run()
+        makespan, imbalance, cost = HETERO_GOLDEN[name]
+        assert result.makespan == pytest.approx(makespan, rel=1e-9)
+        assert result.time_imbalance == pytest.approx(imbalance, rel=1e-9)
+        assert result.total_cost == pytest.approx(cost, rel=1e-9)
+
+    def test_homogeneous_basetest_pinned(self):
+        scenario = homogeneous_scenario(8, 50, seed=123)
+        result = FastSimulation(scenario, make_scheduler("basetest"), seed=123).run()
+        assert result.makespan == pytest.approx(HOMOG_BASETEST[0], rel=1e-12)
+        assert result.time_imbalance == pytest.approx(HOMOG_BASETEST[1], abs=1e-12)
+        assert result.total_cost == pytest.approx(HOMOG_BASETEST[2], rel=1e-12)

@@ -1,0 +1,129 @@
+"""Small-scale end-to-end reproductions of the paper's qualitative claims.
+
+These run the full pipeline (generator → scheduler → DES/fast engine →
+metrics) at sizes small enough for CI but large enough for the orderings to
+be stable.  The full sweeps live in ``benchmarks/`` and
+``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud.fast import FastSimulation
+from repro.cloud.simulation import CloudSimulation
+from repro.schedulers import (
+    AntColonyScheduler,
+    HoneyBeeScheduler,
+    RandomBiasedSamplingScheduler,
+    RoundRobinScheduler,
+)
+from repro.workloads.heterogeneous import heterogeneous_scenario
+from repro.workloads.homogeneous import homogeneous_scenario
+
+
+@pytest.fixture(scope="module")
+def hetero_results():
+    """One mid-sweep heterogeneous point (paper regime: cloudlets >> VMs)."""
+    scenario = heterogeneous_scenario(num_vms=40, num_cloudlets=400, seed=0)
+    schedulers = {
+        "antcolony": AntColonyScheduler(num_ants=20, max_iterations=3),
+        "basetest": RoundRobinScheduler(),
+        "honeybee": HoneyBeeScheduler(),
+        "rbs": RandomBiasedSamplingScheduler(),
+    }
+    return {
+        name: CloudSimulation(scenario, sched, seed=0).run()
+        for name, sched in schedulers.items()
+    }
+
+
+class TestHeterogeneousShapes:
+    def test_fig6a_aco_has_best_makespan(self, hetero_results):
+        makespans = {k: r.makespan for k, r in hetero_results.items()}
+        assert makespans["antcolony"] == min(makespans.values())
+
+    def test_fig6a_hbo_beats_basetest(self, hetero_results):
+        assert hetero_results["honeybee"].makespan < hetero_results["basetest"].makespan
+
+    def test_fig6b_scheduling_time_ordering(self, hetero_results):
+        times = {k: r.scheduling_time for k, r in hetero_results.items()}
+        assert times["basetest"] < times["rbs"] < times["honeybee"] < times["antcolony"]
+
+    def test_fig6c_aco_imbalance_above_spreading_policies(self, hetero_results):
+        imb = {k: r.time_imbalance for k, r in hetero_results.items()}
+        assert imb["antcolony"] > imb["basetest"]
+        assert imb["antcolony"] > imb["rbs"]
+
+    def test_fig6d_hbo_has_lowest_cost(self, hetero_results):
+        costs = {k: r.total_cost for k, r in hetero_results.items()}
+        assert costs["honeybee"] == min(costs.values())
+
+    def test_fig6d_non_hbo_costs_clustered(self, hetero_results):
+        costs = [
+            r.total_cost for k, r in hetero_results.items() if k != "honeybee"
+        ]
+        assert max(costs) / min(costs) < 1.15
+
+
+class TestHomogeneousShapes:
+    @pytest.fixture(scope="class")
+    def homog_results(self):
+        scenario = homogeneous_scenario(num_vms=25, num_cloudlets=500, seed=0)
+        schedulers = {
+            "antcolony": AntColonyScheduler(num_ants=5, max_iterations=2, tabu="pass"),
+            "basetest": RoundRobinScheduler(),
+            "honeybee": HoneyBeeScheduler(),
+            "rbs": RandomBiasedSamplingScheduler(),
+        }
+        return {
+            name: FastSimulation(scenario, sched, seed=0).run()
+            for name, sched in schedulers.items()
+        }
+
+    def test_fig4_all_converge_to_base_test(self, homog_results):
+        base = homog_results["basetest"].makespan
+        # 500 cloudlets / 25 VMs = 20 each x 0.25 s.
+        assert base == pytest.approx(5.0)
+        for name, result in homog_results.items():
+            assert result.makespan <= base * 1.1, name
+
+    def test_fig4_imbalance_zero_in_homogeneous(self, homog_results):
+        for result in homog_results.values():
+            assert result.time_imbalance == pytest.approx(0.0, abs=1e-9)
+
+    def test_fig5_base_test_schedules_fastest(self, homog_results):
+        base = homog_results["basetest"].scheduling_time
+        for name, result in homog_results.items():
+            if name != "basetest":
+                assert result.scheduling_time > base, name
+
+    def test_makespan_decreases_with_fleet_size(self):
+        mks = []
+        for num_vms in (10, 20, 40):
+            scenario = homogeneous_scenario(num_vms=num_vms, num_cloudlets=400, seed=0)
+            mks.append(
+                FastSimulation(scenario, RoundRobinScheduler(), seed=0).run().makespan
+            )
+        assert mks[0] > mks[1] > mks[2]
+
+
+class TestCrossEngineConsistency:
+    def test_paper_metrics_identical_across_engines(self):
+        scenario = heterogeneous_scenario(num_vms=15, num_cloudlets=120, seed=2)
+        for sched_factory in (RoundRobinScheduler, HoneyBeeScheduler):
+            fast = FastSimulation(scenario, sched_factory(), seed=2).run()
+            des = CloudSimulation(scenario, sched_factory(), seed=2).run()
+            assert fast.makespan == pytest.approx(des.makespan)
+            assert fast.time_imbalance == pytest.approx(des.time_imbalance)
+            assert fast.total_cost == pytest.approx(des.total_cost)
+
+    def test_datacenter_cost_accounting_matches_metric(self):
+        from repro.cloud.broker import DatacenterBroker  # noqa: F401  (docs)
+
+        scenario = heterogeneous_scenario(num_vms=10, num_cloudlets=80, seed=3)
+        sim = CloudSimulation(scenario, RoundRobinScheduler(), seed=3)
+        result = sim.run()
+        assert result.total_cost == pytest.approx(result.costs.sum())
+        assert (result.costs > 0).all()

@@ -1,0 +1,133 @@
+"""Validate the online DES engine against queueing theory.
+
+With Poisson arrivals and exponentially distributed cloudlet lengths on
+identical single-PE space-shared VMs, the simulator realises textbook
+queueing systems.  These tests check measured steady-state sojourn times
+against the closed forms — a correctness check on the entire stack
+(arrival process, broker, datacenter event discipline, FIFO execution).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.queueing import mm1_mean_sojourn, mmc_mean_sojourn
+from repro.cloud.online import OnlineCloudSimulation
+from repro.schedulers.online import OnlineLeastLoaded, OnlineRandom
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.homogeneous import homogeneous_scenario
+from repro.workloads.spec import CloudletSpec
+
+MIPS = 1000.0
+MEAN_LENGTH = 1000.0  # -> exponential service, mean 1 s, rate mu = 1
+WARMUP_FRACTION = 0.2
+
+
+def exp_scenario(num_vms: int, num_cloudlets: int, seed: int):
+    """Identical VMs; exponential lengths (mean 1 s of service)."""
+    base = homogeneous_scenario(num_vms, num_cloudlets, num_datacenters=1, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    lengths = np.maximum(rng.exponential(MEAN_LENGTH, size=num_cloudlets), 1.0)
+    return dataclasses.replace(
+        base,
+        cloudlets=tuple(
+            CloudletSpec(length=float(ln), file_size=0.0, output_size=0.0)
+            for ln in lengths
+        ),
+    )
+
+
+def measured_sojourn(result) -> float:
+    """Mean flow time after discarding the warm-up prefix."""
+    flow = result.finish_times - result.submission_times
+    skip = int(len(flow) * WARMUP_FRACTION)
+    return float(flow[skip:].mean())
+
+
+class TestMm1Validation:
+    @pytest.mark.parametrize("lam,tol", [(0.4, 0.15), (0.6, 0.2)])
+    def test_single_vm_matches_mm1(self, lam, tol):
+        scenario = exp_scenario(num_vms=1, num_cloudlets=4000, seed=7)
+        result = OnlineCloudSimulation(
+            scenario,
+            OnlineLeastLoaded(),
+            arrivals=PoissonArrivals(rate=lam),
+            seed=7,
+        ).run()
+        expected = mm1_mean_sojourn(lam, 1.0)
+        assert measured_sojourn(result) == pytest.approx(expected, rel=tol)
+
+    def test_higher_load_longer_sojourn(self):
+        sojourns = []
+        for lam in (0.3, 0.6, 0.8):
+            scenario = exp_scenario(num_vms=1, num_cloudlets=3000, seed=3)
+            result = OnlineCloudSimulation(
+                scenario, OnlineLeastLoaded(), arrivals=PoissonArrivals(rate=lam), seed=3
+            ).run()
+            sojourns.append(measured_sojourn(result))
+        assert sojourns[0] < sojourns[1] < sojourns[2]
+
+
+class TestRoutingBounds:
+    def test_jsq_bracketed_by_mmc_and_random_routing(self):
+        """Least-loaded (≈ join-shortest-queue) routing cannot beat the
+        central-queue M/M/c bound and must beat random routing (which makes
+        each server an independent M/M/1 at load rho)."""
+        c, lam = 4, 2.8  # rho = 0.7
+        scenario = exp_scenario(num_vms=c, num_cloudlets=6000, seed=11)
+        jsq = OnlineCloudSimulation(
+            scenario, OnlineLeastLoaded(), arrivals=PoissonArrivals(rate=lam), seed=11
+        ).run()
+        rnd = OnlineCloudSimulation(
+            scenario, OnlineRandom(), arrivals=PoissonArrivals(rate=lam), seed=11
+        ).run()
+        w_jsq = measured_sojourn(jsq)
+        w_rnd = measured_sojourn(rnd)
+        w_mmc = mmc_mean_sojourn(lam, 1.0, c)
+        w_random_theory = mm1_mean_sojourn(lam / c, 1.0)
+        # Ordering: central M/M/c <= JSQ < random routing ≈ per-server M/M/1.
+        assert w_mmc <= w_jsq * 1.1
+        assert w_jsq < w_rnd
+        assert w_rnd == pytest.approx(w_random_theory, rel=0.3)
+
+
+class TestProcessorSharingValidation:
+    def test_mm1_ps_same_mean_sojourn_as_fcfs(self):
+        """M/M/1 with egalitarian processor sharing has the same mean
+        sojourn 1/(mu - lambda) as FCFS — a classic insensitivity result,
+        checked here against the time-shared execution engine."""
+        lam = 0.5
+        scenario = exp_scenario(num_vms=1, num_cloudlets=4000, seed=19)
+        result = OnlineCloudSimulation(
+            scenario,
+            OnlineLeastLoaded(),
+            arrivals=PoissonArrivals(rate=lam),
+            seed=19,
+            execution_model="time-shared",
+        ).run()
+        expected = mm1_mean_sojourn(lam, 1.0)
+        assert measured_sojourn(result) == pytest.approx(expected, rel=0.2)
+
+    def test_ps_favours_short_tasks_over_fcfs(self):
+        """Under processor sharing, short tasks never wait behind long ones,
+        so the p50 sojourn must be lower than under FCFS at equal load."""
+        import numpy as np
+
+        lam = 0.7
+        scenario = exp_scenario(num_vms=1, num_cloudlets=3000, seed=23)
+        fcfs = OnlineCloudSimulation(
+            scenario, OnlineLeastLoaded(), arrivals=PoissonArrivals(rate=lam), seed=23
+        ).run()
+        ps = OnlineCloudSimulation(
+            scenario,
+            OnlineLeastLoaded(),
+            arrivals=PoissonArrivals(rate=lam),
+            seed=23,
+            execution_model="time-shared",
+        ).run()
+        p50_fcfs = np.percentile(fcfs.finish_times - fcfs.submission_times, 50)
+        p50_ps = np.percentile(ps.finish_times - ps.submission_times, 50)
+        assert p50_ps < p50_fcfs

@@ -1,0 +1,85 @@
+"""Scheduling timer and summary statistics."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.metrics.collector import SchedulingTimer, time_scheduling
+from repro.metrics.stats import SummaryStats, confidence_interval, summarize
+
+
+class TestSchedulingTimer:
+    def test_measure_records_samples(self):
+        timer = SchedulingTimer()
+        with timer.measure():
+            time.sleep(0.01)
+        with timer.measure():
+            pass
+        assert timer.count == 2
+        assert timer.last >= 0
+        assert timer.samples[0] >= 0.01
+        assert timer.total == pytest.approx(sum(timer.samples))
+        assert timer.mean() == pytest.approx(timer.total / 2)
+
+    def test_measure_records_on_exception(self):
+        timer = SchedulingTimer()
+        with pytest.raises(RuntimeError):
+            with timer.measure():
+                raise RuntimeError("boom")
+        assert timer.count == 1
+
+    def test_empty_timer_raises(self):
+        timer = SchedulingTimer()
+        with pytest.raises(ValueError):
+            _ = timer.last
+        with pytest.raises(ValueError):
+            timer.mean()
+
+    def test_time_scheduling_returns_result_and_elapsed(self):
+        result, elapsed = time_scheduling(lambda: 41 + 1)
+        assert result == 42
+        assert elapsed >= 0
+
+
+class TestStats:
+    def test_single_sample(self):
+        stats = summarize([5.0])
+        assert stats == SummaryStats(
+            n=1, mean=5.0, std=0.0, minimum=5.0, maximum=5.0, ci_halfwidth=0.0
+        )
+        assert str(stats) == "5"
+
+    def test_summary_fields(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats.n == 3
+        assert stats.mean == 2.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.ci_low < 2.0 < stats.ci_high
+        assert "±" in str(stats)
+
+    def test_ci_zero_for_constant_samples(self):
+        assert confidence_interval([2.0, 2.0, 2.0]) == 0.0
+
+    def test_ci_matches_t_distribution(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        from scipy import stats as sps
+
+        sem = np.std(samples, ddof=1) / np.sqrt(4)
+        expected = sps.t.ppf(0.975, df=3) * sem
+        assert confidence_interval(samples) == pytest.approx(expected)
+
+    def test_wider_confidence_wider_interval(self):
+        samples = [1.0, 5.0, 2.0, 8.0]
+        assert confidence_interval(samples, 0.99) > confidence_interval(samples, 0.9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            summarize([])
+        with pytest.raises(ValueError):
+            confidence_interval([1.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            confidence_interval(np.zeros((2, 2)))

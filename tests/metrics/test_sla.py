@@ -1,0 +1,83 @@
+"""SLA / deadline metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.sla import (
+    SlaReport,
+    lateness,
+    relative_deadlines,
+    sla_report,
+    tardiness,
+    violations,
+)
+
+
+class TestPerTask:
+    def test_lateness_signed(self):
+        np.testing.assert_allclose(
+            lateness([5.0, 10.0], [7.0, 8.0]), [-2.0, 2.0]
+        )
+
+    def test_tardiness_clamped(self):
+        np.testing.assert_allclose(
+            tardiness([5.0, 10.0], [7.0, 8.0]), [0.0, 2.0]
+        )
+
+    def test_violations_boolean(self):
+        np.testing.assert_array_equal(
+            violations([5.0, 10.0, 8.0], [7.0, 8.0, 8.0]), [False, True, False]
+        )
+
+    def test_infinite_deadline_never_violates(self):
+        assert not violations([1e12], [np.inf])[0]
+
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError, match="aligned"):
+            lateness([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError, match="non-empty"):
+            lateness([], [])
+
+
+class TestReport:
+    def test_counts_and_rates(self):
+        report = sla_report([5.0, 10.0, 9.0], [7.0, 8.0, 10.0])
+        assert report == SlaReport(
+            total=3,
+            violated=1,
+            violation_rate=pytest.approx(1 / 3),
+            mean_tardiness=pytest.approx(2 / 3),
+            max_tardiness=2.0,
+        )
+        assert "1/3" in str(report)
+
+    def test_unconstrained_tasks_excluded_from_total(self):
+        report = sla_report([5.0, 10.0], [np.inf, 8.0])
+        assert report.total == 1
+        assert report.violated == 1
+        assert report.violation_rate == 1.0
+
+    def test_all_unconstrained(self):
+        report = sla_report([5.0], [np.inf])
+        assert report.total == 0
+        assert report.violation_rate == 0.0
+
+
+class TestRelativeDeadlines:
+    def test_formula(self):
+        d = relative_deadlines([1000.0, 2000.0], vm_mean_mips=1000.0, slack_factor=2.0)
+        np.testing.assert_allclose(d, [2.0, 4.0])
+
+    def test_arrival_offsets(self):
+        d = relative_deadlines(
+            [1000.0], vm_mean_mips=1000.0, slack_factor=1.0, arrival_times=[5.0]
+        )
+        np.testing.assert_allclose(d, [6.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            relative_deadlines([1.0], vm_mean_mips=0.0, slack_factor=1.0)
+        with pytest.raises(ValueError):
+            relative_deadlines([1.0], vm_mean_mips=1.0, slack_factor=0.0)

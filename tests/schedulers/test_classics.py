@@ -1,0 +1,64 @@
+"""MET and OLB classic heuristics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.schedulers.base import SchedulingContext, validate_assignment
+from repro.schedulers.classics import (
+    MinimumExecutionTimeScheduler,
+    OpportunisticLoadBalancingScheduler,
+)
+from repro.workloads.heterogeneous import heterogeneous_scenario
+
+
+def ctx(scenario, seed=0):
+    return SchedulingContext.from_scenario(scenario, seed=seed)
+
+
+class TestMet:
+    def test_everything_on_fastest_vm_with_uniform_bw(self, small_hetero):
+        context = ctx(small_hetero)
+        result = MinimumExecutionTimeScheduler().schedule(context)
+        validate_assignment(result.assignment, 60, 12)
+        fastest = int(np.argmax(context.arrays.vm_mips))
+        assert (result.assignment == fastest).all()
+
+    def test_met_has_extreme_imbalance(self, small_hetero):
+        from repro.cloud.fast import FastSimulation
+        from repro.schedulers.round_robin import RoundRobinScheduler
+
+        met = FastSimulation(small_hetero, MinimumExecutionTimeScheduler(), seed=0).run()
+        rr = FastSimulation(small_hetero, RoundRobinScheduler(), seed=0).run()
+        # One VM does all the work: makespan far above balanced placement.
+        assert met.makespan > rr.makespan
+
+
+class TestOlb:
+    def test_balances_expected_busy_time(self, small_hetero):
+        context = ctx(small_hetero)
+        result = OpportunisticLoadBalancingScheduler().schedule(context)
+        validate_assignment(result.assignment, 60, 12)
+        arr = context.arrays
+        busy = np.zeros(12)
+        np.add.at(
+            busy,
+            result.assignment,
+            arr.cloudlet_length / arr.vm_mips[result.assignment],
+        )
+        assert busy.max() / busy.min() < 3.0
+
+    def test_uses_every_vm(self, small_hetero):
+        result = OpportunisticLoadBalancingScheduler().schedule(ctx(small_hetero))
+        assert len(np.unique(result.assignment)) == 12
+
+    def test_olb_between_met_and_greedy(self):
+        from repro.cloud.fast import FastSimulation
+        from repro.schedulers.greedy import GreedyMinCompletionScheduler
+
+        scenario = heterogeneous_scenario(10, 200, seed=8)
+        olb = FastSimulation(scenario, OpportunisticLoadBalancingScheduler(), seed=0).run()
+        met = FastSimulation(scenario, MinimumExecutionTimeScheduler(), seed=0).run()
+        greedy = FastSimulation(scenario, GreedyMinCompletionScheduler(), seed=0).run()
+        assert greedy.makespan <= olb.makespan <= met.makespan

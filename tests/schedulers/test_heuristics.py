@@ -1,0 +1,127 @@
+"""Max-Min, Min-Min, greedy MCT and random baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.schedulers.base import (
+    SchedulingContext,
+    estimate_makespan,
+    validate_assignment,
+)
+from repro.schedulers.greedy import GreedyMinCompletionScheduler
+from repro.schedulers.maxmin import MaxMinScheduler, MinMinScheduler
+from repro.schedulers.random_assign import RandomScheduler
+from repro.workloads.heterogeneous import heterogeneous_scenario
+
+
+def ctx(scenario, seed=0):
+    return SchedulingContext.from_scenario(scenario, seed=seed)
+
+
+def reference_greedy(lengths, capacity):
+    """Naive reference implementation of minimum-completion-time."""
+    ready = np.zeros_like(capacity)
+    out = []
+    for ln in lengths:
+        completion = ready + ln / capacity
+        j = int(np.argmin(completion))
+        out.append(j)
+        ready[j] = completion[j]
+    return np.array(out), ready
+
+
+def reference_maxmin(lengths, capacity, select_max):
+    """Textbook O(n^2 m) Max-Min / Min-Min."""
+    n = len(lengths)
+    ready = np.zeros_like(capacity)
+    assignment = np.full(n, -1)
+    remaining = set(range(n))
+    while remaining:
+        best_i, best_j, best_t = None, None, None
+        for i in remaining:
+            completion = ready + lengths[i] / capacity
+            j = int(np.argmin(completion))
+            t = completion[j]
+            better = (
+                best_t is None
+                or (select_max and t > best_t)
+                or (not select_max and t < best_t)
+            )
+            if better:
+                best_i, best_j, best_t = i, j, t
+        assignment[best_i] = best_j
+        ready[best_j] += lengths[best_i] / capacity[best_j]
+        remaining.discard(best_i)
+    return assignment, ready
+
+
+class TestGreedy:
+    def test_matches_reference(self, small_hetero):
+        context = ctx(small_hetero)
+        arr = context.arrays
+        result = GreedyMinCompletionScheduler().schedule(context)
+        expected, ready = reference_greedy(
+            arr.cloudlet_length, arr.vm_mips * arr.vm_pes
+        )
+        np.testing.assert_array_equal(result.assignment, expected)
+        assert result.info["estimated_makespan"] == pytest.approx(ready.max())
+
+    def test_beats_round_robin(self, small_hetero):
+        from repro.schedulers.round_robin import RoundRobinScheduler
+
+        context = ctx(small_hetero)
+        arr = context.arrays
+        greedy = GreedyMinCompletionScheduler().schedule(context)
+        rr = RoundRobinScheduler().schedule(context)
+        assert estimate_makespan(
+            greedy.assignment, arr.cloudlet_length, arr.vm_mips
+        ) < estimate_makespan(rr.assignment, arr.cloudlet_length, arr.vm_mips)
+
+
+class TestMaxMinMinMin:
+    @pytest.mark.parametrize(
+        "scheduler_cls,select_max",
+        [(MaxMinScheduler, True), (MinMinScheduler, False)],
+    )
+    def test_matches_textbook_reference(self, scheduler_cls, select_max):
+        scenario = heterogeneous_scenario(
+            num_vms=5, num_cloudlets=18, num_datacenters=2, seed=8
+        )
+        context = ctx(scenario)
+        arr = context.arrays
+        result = scheduler_cls().schedule(context)
+        expected, ready = reference_maxmin(
+            arr.cloudlet_length, arr.vm_mips * arr.vm_pes, select_max
+        )
+        np.testing.assert_array_equal(result.assignment, expected)
+        assert result.info["estimated_makespan"] == pytest.approx(ready.max())
+
+    def test_names(self):
+        assert MaxMinScheduler().name == "maxmin"
+        assert MinMinScheduler().name == "minmin"
+
+    def test_maxmin_not_worse_than_minmin_usually(self, small_hetero):
+        # Max-Min schedules big tasks first, which typically yields a lower
+        # makespan than Min-Min on spread-out workloads.
+        context = ctx(small_hetero)
+        arr = context.arrays
+        mm = MaxMinScheduler().schedule(context)
+        nn = MinMinScheduler().schedule(ctx(small_hetero))
+        mk_max = estimate_makespan(mm.assignment, arr.cloudlet_length, arr.vm_mips)
+        mk_min = estimate_makespan(nn.assignment, arr.cloudlet_length, arr.vm_mips)
+        assert mk_max <= mk_min * 1.05
+
+
+class TestRandom:
+    def test_valid_and_deterministic(self, small_hetero):
+        a = RandomScheduler().schedule(ctx(small_hetero, 7))
+        b = RandomScheduler().schedule(ctx(small_hetero, 7))
+        validate_assignment(a.assignment, 60, 12)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+    def test_uses_many_vms(self):
+        scenario = heterogeneous_scenario(num_vms=10, num_cloudlets=500, seed=0)
+        result = RandomScheduler().schedule(ctx(scenario))
+        assert len(np.unique(result.assignment)) == 10

@@ -1,0 +1,33 @@
+"""Base Test scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.schedulers.round_robin import RoundRobinScheduler
+
+
+class TestRoundRobin:
+    def test_cyclic_pattern(self, tiny_context):
+        result = RoundRobinScheduler().schedule(tiny_context)
+        np.testing.assert_array_equal(result.assignment, np.arange(8) % 4)
+
+    def test_start_offset(self, tiny_context):
+        result = RoundRobinScheduler(start_offset=2).schedule(tiny_context)
+        np.testing.assert_array_equal(result.assignment, (np.arange(8) + 2) % 4)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinScheduler(start_offset=-1)
+
+    def test_name(self):
+        assert RoundRobinScheduler().name == "basetest"
+
+    def test_counts_differ_by_at_most_one(self, small_hetero):
+        from repro.schedulers.base import SchedulingContext
+
+        ctx = SchedulingContext.from_scenario(small_hetero, seed=0)
+        result = RoundRobinScheduler().schedule(ctx)
+        counts = np.bincount(result.assignment, minlength=ctx.num_vms)
+        assert counts.max() - counts.min() <= 1

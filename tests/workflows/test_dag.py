@@ -1,0 +1,144 @@
+"""Workflow DAG model and generators."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workflows.dag import (
+    WorkflowSpec,
+    WorkflowTask,
+    fork_join_workflow,
+    layered_workflow,
+    random_workflow,
+)
+
+
+def diamond() -> WorkflowSpec:
+    """0 -> {1, 2} -> 3."""
+    tasks = tuple(WorkflowTask(task_id=i, length=1000.0) for i in range(4))
+    edges = ((0, 1, 10.0), (0, 2, 10.0), (1, 3, 10.0), (2, 3, 10.0))
+    return WorkflowSpec(name="diamond", tasks=tasks, edges=edges)
+
+
+class TestTaskValidation:
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            WorkflowTask(task_id=0, length=0.0)
+        with pytest.raises(ValueError):
+            WorkflowTask(task_id=0, length=1.0, pes=0)
+        with pytest.raises(ValueError):
+            WorkflowTask(task_id=0, length=1.0, file_size=-1.0)
+
+
+class TestSpecValidation:
+    def test_diamond_is_valid(self):
+        spec = diamond()
+        assert spec.num_tasks == 4
+        assert spec.entry_tasks() == [0]
+
+    def test_ids_must_be_sequential(self):
+        tasks = (WorkflowTask(task_id=1, length=1.0),)
+        with pytest.raises(ValueError, match="0..n-1"):
+            WorkflowSpec(name="x", tasks=tasks, edges=())
+
+    def test_cycle_rejected(self):
+        tasks = tuple(WorkflowTask(task_id=i, length=1.0) for i in range(2))
+        with pytest.raises(ValueError, match="cycle"):
+            WorkflowSpec(name="x", tasks=tasks, edges=((0, 1, 1.0), (1, 0, 1.0)))
+
+    def test_self_loop_rejected(self):
+        tasks = (WorkflowTask(task_id=0, length=1.0),)
+        with pytest.raises(ValueError, match="self-loop"):
+            WorkflowSpec(name="x", tasks=tasks, edges=((0, 0, 1.0),))
+
+    def test_duplicate_edge_rejected(self):
+        tasks = tuple(WorkflowTask(task_id=i, length=1.0) for i in range(2))
+        with pytest.raises(ValueError, match="duplicate"):
+            WorkflowSpec(name="x", tasks=tasks, edges=((0, 1, 1.0), (0, 1, 2.0)))
+
+    def test_unknown_task_in_edge_rejected(self):
+        tasks = (WorkflowTask(task_id=0, length=1.0),)
+        with pytest.raises(ValueError, match="unknown"):
+            WorkflowSpec(name="x", tasks=tasks, edges=((0, 5, 1.0),))
+
+    def test_negative_data_rejected(self):
+        tasks = tuple(WorkflowTask(task_id=i, length=1.0) for i in range(2))
+        with pytest.raises(ValueError, match="negative data"):
+            WorkflowSpec(name="x", tasks=tasks, edges=((0, 1, -1.0),))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            WorkflowSpec(name="x", tasks=(), edges=())
+
+
+class TestGraphViews:
+    def test_parents_children(self):
+        spec = diamond()
+        assert sorted(spec.parents(3)) == [(1, 10.0), (2, 10.0)]
+        assert sorted(spec.children(0)) == [(1, 10.0), (2, 10.0)]
+
+    def test_topological_order_respects_edges(self):
+        order = diamond().topological_order()
+        position = {t: i for i, t in enumerate(order)}
+        assert position[0] < position[1] < position[3]
+        assert position[0] < position[2] < position[3]
+
+    def test_critical_path_diamond(self):
+        # path 0->1->3: 3 tasks x 1000 MI at 1000 mips + 2 transfers at 10 MB/100 bw
+        assert diamond().critical_path_seconds(1000.0, bandwidth=100.0) == pytest.approx(
+            3.0 + 0.2
+        )
+        assert diamond().critical_path_seconds(1000.0) == pytest.approx(3.0)
+
+    def test_critical_path_validation(self):
+        with pytest.raises(ValueError):
+            diamond().critical_path_seconds(0.0)
+        with pytest.raises(ValueError):
+            diamond().critical_path_seconds(1.0, bandwidth=0.0)
+
+
+class TestGenerators:
+    def test_layered_structure(self):
+        spec = layered_workflow(num_layers=3, width=2, seed=1)
+        assert spec.num_tasks == 6
+        # Each non-final layer task feeds both next-layer tasks.
+        assert len(spec.edges) == 2 * 2 * 2
+        assert nx.is_directed_acyclic_graph(spec.graph())
+
+    def test_fork_join_structure(self):
+        spec = fork_join_workflow(branches=5, seed=1)
+        assert spec.num_tasks == 7
+        assert spec.entry_tasks() == [0]
+        assert len(list(spec.parents(6))) == 5
+
+    def test_random_acyclic_and_deterministic(self):
+        a = random_workflow(30, edge_probability=0.2, seed=9)
+        b = random_workflow(30, edge_probability=0.2, seed=9)
+        assert a.edges == b.edges
+        assert nx.is_directed_acyclic_graph(a.graph())
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            layered_workflow(0, 1)
+        with pytest.raises(ValueError):
+            fork_join_workflow(0)
+        with pytest.raises(ValueError):
+            random_workflow(5, edge_probability=1.5)
+        with pytest.raises(ValueError):
+            random_workflow(5, length_range=(0.0, 1.0))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        p=st.floats(min_value=0.0, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_property_random_dags_valid(self, n, p, seed):
+        spec = random_workflow(n, edge_probability=p, seed=seed)
+        assert spec.num_tasks == n
+        assert nx.is_directed_acyclic_graph(spec.graph())
+        order = spec.topological_order()
+        assert sorted(order) == list(range(n))

@@ -1,0 +1,97 @@
+"""Homogeneous and heterogeneous scenario generators (Tables III-VII)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.heterogeneous import (
+    CLOUDLET_LENGTH_RANGE,
+    COST_PER_BW_RANGE,
+    COST_PER_MEM_RANGE,
+    COST_PER_STORAGE_RANGE,
+    VM_MIPS_RANGE,
+    heterogeneous_scenario,
+)
+from repro.workloads.homogeneous import (
+    HOMOGENEOUS_CLOUDLET,
+    HOMOGENEOUS_VM,
+    homogeneous_scenario,
+)
+
+
+class TestHomogeneous:
+    def test_table_iii_and_iv_constants(self):
+        assert HOMOGENEOUS_VM.mips == 1000.0
+        assert HOMOGENEOUS_VM.ram == 512.0
+        assert HOMOGENEOUS_VM.bw == 500.0
+        assert HOMOGENEOUS_VM.size == 5000.0
+        assert HOMOGENEOUS_CLOUDLET.length == 250.0
+        assert HOMOGENEOUS_CLOUDLET.file_size == 300.0
+
+    def test_all_elements_identical(self):
+        sc = homogeneous_scenario(num_vms=20, num_cloudlets=50)
+        assert len(set(sc.vms)) == 1
+        assert len(set(sc.cloudlets)) == 1
+
+    def test_vms_spread_round_robin(self):
+        sc = homogeneous_scenario(num_vms=10, num_cloudlets=5, num_datacenters=3)
+        counts = np.bincount(sc.vm_datacenter, minlength=3)
+        assert counts.max() - counts.min() <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            homogeneous_scenario(num_vms=0, num_cloudlets=1)
+        with pytest.raises(ValueError):
+            homogeneous_scenario(num_vms=1, num_cloudlets=1, num_datacenters=5)
+
+    def test_name_encodes_sizes(self):
+        assert "5vms" in homogeneous_scenario(5, 7).name
+
+
+class TestHeterogeneous:
+    def test_ranges_match_tables(self):
+        sc = heterogeneous_scenario(num_vms=200, num_cloudlets=500, seed=0)
+        arr = sc.arrays()
+        assert arr.vm_mips.min() >= VM_MIPS_RANGE[0]
+        assert arr.vm_mips.max() <= VM_MIPS_RANGE[1]
+        assert arr.cloudlet_length.min() >= CLOUDLET_LENGTH_RANGE[0]
+        assert arr.cloudlet_length.max() <= CLOUDLET_LENGTH_RANGE[1]
+        assert (arr.dc_cost_per_mem >= COST_PER_MEM_RANGE[0]).all()
+        assert (arr.dc_cost_per_mem <= COST_PER_MEM_RANGE[1]).all()
+        assert (arr.dc_cost_per_storage >= COST_PER_STORAGE_RANGE[0]).all()
+        assert (arr.dc_cost_per_storage <= COST_PER_STORAGE_RANGE[1]).all()
+        assert (arr.dc_cost_per_bw >= COST_PER_BW_RANGE[0]).all()
+        assert (arr.dc_cost_per_bw <= COST_PER_BW_RANGE[1]).all()
+        assert (arr.dc_cost_per_cpu == 3.0).all()
+
+    def test_non_mips_vm_attributes_fixed(self):
+        sc = heterogeneous_scenario(num_vms=30, num_cloudlets=10, seed=0)
+        assert {v.ram for v in sc.vms} == {512.0}
+        assert {v.bw for v in sc.vms} == {500.0}
+        assert {v.size for v in sc.vms} == {5000.0}
+
+    def test_deterministic_per_seed(self):
+        a = heterogeneous_scenario(10, 20, seed=3)
+        b = heterogeneous_scenario(10, 20, seed=3)
+        assert a.vms == b.vms
+        assert a.cloudlets == b.cloudlets
+
+    def test_seeds_differ(self):
+        a = heterogeneous_scenario(10, 20, seed=3)
+        b = heterogeneous_scenario(10, 20, seed=4)
+        assert a.vms != b.vms
+
+    def test_vm_fleet_stable_when_cloudlet_count_changes(self):
+        a = heterogeneous_scenario(10, 20, seed=3)
+        b = heterogeneous_scenario(10, 200, seed=3)
+        assert a.vms == b.vms
+        assert a.datacenters == b.datacenters
+        # And the common cloudlet prefix matches too (stream independence).
+        assert a.cloudlets == b.cloudlets[:20]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heterogeneous_scenario(0, 1)
+        with pytest.raises(ValueError):
+            heterogeneous_scenario(2, 1, num_datacenters=5)

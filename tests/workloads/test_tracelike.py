@@ -1,0 +1,100 @@
+"""Trace-like workload and diurnal arrivals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rng import spawn_rng
+from repro.workloads.arrivals import DiurnalArrivals
+from repro.workloads.tracelike import (
+    FLEET_TIERS,
+    LENGTH_CLIP,
+    diurnal_arrivals_for,
+    tracelike_scenario,
+)
+
+
+class TestTracelikeScenario:
+    def test_heavy_tail_statistics(self):
+        scenario = tracelike_scenario(40, 2000, seed=1)
+        lengths = scenario.arrays().cloudlet_length
+        # Heavy tail: p99 at least an order of magnitude over the median.
+        p50, p99 = np.percentile(lengths, [50, 99])
+        assert p99 / p50 > 10
+        assert lengths.min() >= LENGTH_CLIP[0]
+        assert lengths.max() <= LENGTH_CLIP[1]
+
+    def test_fleet_is_tiered(self):
+        scenario = tracelike_scenario(200, 10, seed=2)
+        tiers = set(float(m) for m in scenario.arrays().vm_mips)
+        assert tiers <= set(FLEET_TIERS)
+        assert len(tiers) == 3
+
+    def test_tier_shares_roughly_respected(self):
+        scenario = tracelike_scenario(1000, 10, seed=3)
+        mips = scenario.arrays().vm_mips
+        share_slow = float((mips == 500.0).mean())
+        assert 0.35 < share_slow < 0.65
+
+    def test_deterministic(self):
+        assert tracelike_scenario(20, 50, seed=9).cloudlets == tracelike_scenario(
+            20, 50, seed=9
+        ).cloudlets
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tracelike_scenario(0, 10)
+
+    def test_runs_through_simulator(self):
+        from repro.cloud.fast import FastSimulation
+        from repro.schedulers import GreedyMinCompletionScheduler
+
+        scenario = tracelike_scenario(16, 200, seed=4)
+        result = FastSimulation(scenario, GreedyMinCompletionScheduler(), seed=4).run()
+        assert result.makespan > 0
+
+
+class TestDiurnalArrivals:
+    def test_rate_modulates_over_period(self):
+        proc = DiurnalArrivals(base_rate=10.0, period=100.0, amplitude=0.8)
+        assert proc.rate_at(25.0) == pytest.approx(18.0)  # peak at period/4
+        assert proc.rate_at(75.0) == pytest.approx(2.0)  # trough
+        assert proc.rate_at(0.0) == pytest.approx(10.0)
+
+    def test_sample_sorted_and_mean_rate_close_to_base(self):
+        proc = DiurnalArrivals(base_rate=10.0, period=50.0, amplitude=0.8)
+        times = proc.sample(spawn_rng(1, "d"), 5000)
+        assert (np.diff(times) >= 0).all()
+        measured = 5000 / times[-1]
+        # Over whole periods the sine integrates away: mean rate ≈ base.
+        assert measured == pytest.approx(10.0, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalArrivals(base_rate=0.0, period=10.0)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(base_rate=1.0, period=10.0, amplitude=1.0)
+
+    def test_arrivals_cluster_at_peaks(self):
+        proc = DiurnalArrivals(base_rate=10.0, period=100.0, amplitude=0.9)
+        times = proc.sample(spawn_rng(2, "d"), 4000)
+        phase = np.mod(times, 100.0)
+        peak_half = ((phase > 0) & (phase < 50)).mean()  # sin > 0 half
+        assert peak_half > 0.6
+
+
+class TestDiurnalForScenario:
+    def test_rate_sized_to_utilization(self):
+        scenario = tracelike_scenario(30, 500, seed=2)
+        proc = diurnal_arrivals_for(scenario, mean_utilization=0.5)
+        arr = scenario.arrays()
+        implied_util = proc.base_rate * arr.cloudlet_length.mean() / (
+            (arr.vm_mips * arr.vm_pes).sum()
+        )
+        assert implied_util == pytest.approx(0.5)
+
+    def test_validation(self):
+        scenario = tracelike_scenario(10, 50, seed=2)
+        with pytest.raises(ValueError):
+            diurnal_arrivals_for(scenario, mean_utilization=1.5)

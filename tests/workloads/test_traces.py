@@ -1,0 +1,54 @@
+"""Scenario persistence round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.workloads.traces import (
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, tiny_scenario):
+        data = scenario_to_dict(tiny_scenario)
+        restored = scenario_from_dict(data)
+        assert restored == tiny_scenario
+
+    def test_file_round_trip(self, tiny_scenario, tmp_path):
+        path = save_scenario(tiny_scenario, tmp_path / "sub" / "scenario.json")
+        assert path.exists()
+        restored = load_scenario(path)
+        assert restored == tiny_scenario
+
+    def test_heterogeneous_round_trip(self, small_hetero, tmp_path):
+        path = save_scenario(small_hetero, tmp_path / "h.json")
+        assert load_scenario(path) == small_hetero
+
+    def test_file_is_json(self, tiny_scenario, tmp_path):
+        path = save_scenario(tiny_scenario, tmp_path / "s.json")
+        data = json.loads(path.read_text())
+        assert data["format_version"] == 1
+        assert data["name"] == "tiny"
+
+    def test_unknown_version_rejected(self, tiny_scenario):
+        data = scenario_to_dict(tiny_scenario)
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            scenario_from_dict(data)
+
+    def test_restored_scenario_simulates_identically(self, tiny_scenario, tmp_path):
+        from repro.cloud.simulation import CloudSimulation
+        from repro.schedulers import RoundRobinScheduler
+
+        path = save_scenario(tiny_scenario, tmp_path / "s.json")
+        restored = load_scenario(path)
+        a = CloudSimulation(tiny_scenario, RoundRobinScheduler(), seed=0).run()
+        b = CloudSimulation(restored, RoundRobinScheduler(), seed=0).run()
+        assert a.makespan == b.makespan
+        assert a.total_cost == b.total_cost
