@@ -1,7 +1,8 @@
 """Extension benchmarks — resilience under VM failures.
 
 Measures makespan degradation and retry volume as VMs are killed
-mid-batch, with the round-robin recovery broker.
+mid-batch, comparing blind round-robin recovery against failure-aware
+rescheduling, plus a seeded chaos-suite smoke.
 """
 
 from __future__ import annotations
@@ -9,7 +10,10 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import record_result
+from repro.cloud.chaos import ChaosConfig, run_chaos_suite
 from repro.cloud.faults import VmFailure, run_with_failures
+from repro.cloud.resilience import ImmediateRetry, run_resilient
+from repro.cloud.simulation import CloudSimulation
 from repro.schedulers import GreedyMinCompletionScheduler, RoundRobinScheduler
 from repro.workloads.heterogeneous import heterogeneous_scenario
 
@@ -43,3 +47,49 @@ def test_failure_recovery_per_scheduler(benchmark, scheduler_factory):
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     record_result(benchmark, result)
     benchmark.extra_info["retries"] = result.info["retries"]
+
+
+@pytest.mark.parametrize("recovery", ["round-robin", "rescheduling"])
+def test_recovery_strategy_degradation(benchmark, recovery):
+    """Blind RR resubmission vs re-invoking the scheduler over survivors."""
+    scenario = heterogeneous_scenario(NUM_VMS, NUM_CLOUDLETS, seed=5)
+    scheduler = GreedyMinCompletionScheduler()
+    baseline = CloudSimulation(scenario, scheduler, seed=5).run()
+    failures = [VmFailure(0, at_time=2.0), VmFailure(4, at_time=3.0)]
+
+    def run():
+        if recovery == "round-robin":
+            return run_with_failures(scenario, scheduler, failures, seed=5)
+        return run_resilient(
+            scenario, scheduler, failures, seed=5,
+            retry_policy=ImmediateRetry(max_attempts=8),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(benchmark, result)
+    benchmark.extra_info["recovery"] = recovery
+    benchmark.extra_info["degradation"] = result.makespan / baseline.makespan
+    benchmark.extra_info["retries"] = result.info["retries"]
+
+
+def test_chaos_suite_smoke(benchmark):
+    """Seeded crash+straggler chaos plan across both recovery strategies."""
+    scenario = heterogeneous_scenario(12, 150, seed=0)
+    config = ChaosConfig(num_vm_failures=2, num_stragglers=1, recover_fraction=0.5)
+
+    def run():
+        return run_chaos_suite(
+            scenario,
+            {"greedy": GreedyMinCompletionScheduler()},
+            seeds=(0,),
+            config=config,
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    cell = report.cells[0]
+    assert cell.rescheduling_recovery.completed_fraction == 1.0
+    benchmark.extra_info["rr_degradation"] = cell.round_robin_recovery.makespan_degradation
+    benchmark.extra_info["resched_degradation"] = (
+        cell.rescheduling_recovery.makespan_degradation
+    )
+    benchmark.extra_info["mttr"] = cell.rescheduling_recovery.mttr

@@ -26,13 +26,23 @@ from repro.cloud.consolidation import (
     compare_placement_policies,
     placement_energy,
 )
-from repro.cloud.datacenter import Datacenter
+from repro.cloud.chaos import (
+    ChaosCell,
+    ChaosConfig,
+    ChaosReport,
+    generate_fault_plan,
+    run_chaos_suite,
+)
+from repro.cloud.datacenter import Datacenter, FaultNotice
 from repro.cloud.fast import FastSimulation
 from repro.cloud.faults import (
     FaultInjector,
+    HostFailure,
     ResilientBroker,
     VmFailure,
+    VmSlowdown,
     run_with_failures,
+    validate_fault_plan,
 )
 from repro.cloud.host import Host
 from repro.cloud.migration import ConsolidationController
@@ -44,7 +54,21 @@ from repro.cloud.power import (
     batch_energy,
     energy_of_result,
 )
-from repro.cloud.simulation import CloudSimulation, SimulationResult, quick_run
+from repro.cloud.resilience import (
+    ExponentialBackoffRetry,
+    FixedDelayRetry,
+    ImmediateRetry,
+    ReschedulingBroker,
+    RetryPolicy,
+    run_resilient,
+)
+from repro.cloud.simulation import (
+    CloudSimulation,
+    SimulationEnvironment,
+    SimulationResult,
+    build_simulation,
+    quick_run,
+)
 from repro.cloud.topology import (
     DelayMatrixTopology,
     GraphTopology,
@@ -91,9 +115,26 @@ __all__ = [
     "batch_energy",
     "energy_of_result",
     "VmFailure",
+    "HostFailure",
+    "VmSlowdown",
+    "FaultNotice",
     "FaultInjector",
     "ResilientBroker",
     "run_with_failures",
+    "validate_fault_plan",
+    "RetryPolicy",
+    "ImmediateRetry",
+    "FixedDelayRetry",
+    "ExponentialBackoffRetry",
+    "ReschedulingBroker",
+    "run_resilient",
+    "ChaosConfig",
+    "ChaosCell",
+    "ChaosReport",
+    "generate_fault_plan",
+    "run_chaos_suite",
+    "SimulationEnvironment",
+    "build_simulation",
     "PlacementEnergyReport",
     "placement_energy",
     "compare_placement_policies",

@@ -1,0 +1,272 @@
+"""Seeded chaos harness: randomized fault plans + recovery comparison.
+
+The bio-inspired schedulers are pitched as *self-organising*; this module
+measures that claim.  :func:`generate_fault_plan` draws a reproducible
+fault plan — VM crashes (some recovering), correlated host crashes and
+straggler windows — scaled to a run's fault-free makespan, and
+:func:`run_chaos_suite` executes every (scheduler, seed) cell three ways:
+
+1. fault-free baseline (:class:`~repro.cloud.simulation.CloudSimulation`),
+2. the same plan under blind round-robin recovery
+   (:func:`~repro.cloud.faults.run_with_failures`),
+3. the same plan under scheduler-driven rescheduling with retry backoff
+   (:func:`~repro.cloud.resilience.run_resilient`),
+
+reducing each faulted run to :class:`~repro.metrics.resilience.RecoveryMetrics`
+so degradation ratios are directly comparable across schedulers and
+recovery strategies.
+
+Everything is derived from the root seed via tagged
+:func:`~repro.core.rng.spawn_rng` streams, so a chaos cell is exactly
+reproducible from ``(scenario, scheduler, seed, config)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.cloud.faults import (
+    FaultEvent,
+    HostFailure,
+    VmFailure,
+    VmSlowdown,
+    run_with_failures,
+    validate_fault_plan,
+)
+from repro.cloud.resilience import RetryPolicy, run_resilient
+from repro.cloud.simulation import CloudSimulation, SimulationResult
+from repro.core.rng import spawn_rng
+from repro.metrics.resilience import RecoveryMetrics, recovery_metrics
+from repro.schedulers.base import Scheduler
+from repro.workloads.spec import ScenarioSpec
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Shape of a randomized fault plan.
+
+    Counts are drawn over *disjoint* VM sets (a crashed VM is never also a
+    straggler anchor), which keeps generated plans valid by construction.
+    All times are fractions of the baseline (fault-free) makespan, so the
+    same config stresses small and large scenarios proportionally.
+    """
+
+    num_vm_failures: int = 1
+    num_host_failures: int = 0
+    num_stragglers: int = 1
+    #: fraction of VM failures that later recover (rounded down).
+    recover_fraction: float = 0.5
+    #: fault instants are drawn uniformly in this makespan fraction window.
+    fault_window: tuple[float, float] = (0.1, 0.6)
+    #: recovery downtime, as a makespan fraction window.
+    downtime_window: tuple[float, float] = (0.1, 0.3)
+    #: straggler MIPS factor window (values in (0, 1)).
+    factor_window: tuple[float, float] = (0.2, 0.6)
+    #: straggler duration, as a makespan fraction window.
+    duration_window: tuple[float, float] = (0.1, 0.4)
+
+    def __post_init__(self) -> None:
+        if min(self.num_vm_failures, self.num_host_failures, self.num_stragglers) < 0:
+            raise ValueError("fault counts must be non-negative")
+        if not 0 <= self.recover_fraction <= 1:
+            raise ValueError(
+                f"recover_fraction must be in [0, 1], got {self.recover_fraction}"
+            )
+        for name, (lo, hi) in (
+            ("fault_window", self.fault_window),
+            ("downtime_window", self.downtime_window),
+            ("duration_window", self.duration_window),
+        ):
+            if not 0 < lo <= hi:
+                raise ValueError(f"{name} must satisfy 0 < lo <= hi, got ({lo}, {hi})")
+        lo, hi = self.factor_window
+        if not 0 < lo <= hi < 1:
+            raise ValueError(
+                f"factor_window must satisfy 0 < lo <= hi < 1, got ({lo}, {hi})"
+            )
+
+    @property
+    def num_anchors(self) -> int:
+        """Distinct VMs the plan needs."""
+        return self.num_vm_failures + self.num_host_failures + self.num_stragglers
+
+
+def generate_fault_plan(
+    scenario: ScenarioSpec,
+    baseline_makespan: float,
+    config: ChaosConfig,
+    rng: np.random.Generator,
+) -> list[FaultEvent]:
+    """Draw a valid fault plan for ``scenario`` from ``rng``.
+
+    Anchor VMs for crashes, host crashes and stragglers are sampled without
+    replacement, so no VM carries two plan entries and the plan always
+    passes :func:`~repro.cloud.faults.validate_fault_plan`.  At least one
+    VM is left untouched (a plan that crashes the whole fleet measures
+    nothing but dead-letters).
+    """
+    if baseline_makespan <= 0:
+        raise ValueError(f"baseline makespan must be positive, got {baseline_makespan}")
+    needed = config.num_anchors
+    if needed == 0:
+        return []
+    crashing = config.num_vm_failures + config.num_host_failures
+    if crashing >= scenario.num_vms:
+        raise ValueError(
+            f"plan crashes {crashing} of {scenario.num_vms} VMs; at least one "
+            f"VM must survive"
+        )
+    if needed > scenario.num_vms:
+        raise ValueError(
+            f"plan needs {needed} distinct anchor VMs, scenario has "
+            f"{scenario.num_vms}"
+        )
+    anchors = rng.choice(scenario.num_vms, size=needed, replace=False)
+    span = baseline_makespan
+
+    def window(bounds: tuple[float, float]) -> float:
+        return float(rng.uniform(bounds[0], bounds[1]) * span)
+
+    plan: list[FaultEvent] = []
+    cursor = 0
+    recovering = int(config.num_vm_failures * config.recover_fraction)
+    for k in range(config.num_vm_failures):
+        downtime = window(config.downtime_window) if k < recovering else None
+        plan.append(
+            VmFailure(int(anchors[cursor]), window(config.fault_window), downtime)
+        )
+        cursor += 1
+    for _ in range(config.num_host_failures):
+        plan.append(HostFailure(int(anchors[cursor]), window(config.fault_window)))
+        cursor += 1
+    for _ in range(config.num_stragglers):
+        plan.append(
+            VmSlowdown(
+                int(anchors[cursor]),
+                window(config.fault_window),
+                duration=window(config.duration_window),
+                factor=float(rng.uniform(*config.factor_window)),
+            )
+        )
+        cursor += 1
+    return validate_fault_plan(plan, scenario.num_vms)
+
+
+@dataclass(frozen=True)
+class ChaosCell:
+    """One (scheduler, seed) cell of a chaos suite."""
+
+    scheduler_name: str
+    seed: int
+    plan_size: int
+    baseline: SimulationResult
+    round_robin: SimulationResult
+    rescheduling: SimulationResult
+    round_robin_recovery: RecoveryMetrics
+    rescheduling_recovery: RecoveryMetrics
+
+    def summary(self) -> dict[str, float]:
+        """Headline numbers for reports: degradation under both recoveries."""
+        return {
+            "baseline_makespan": self.baseline.makespan,
+            "rr_degradation": self.round_robin_recovery.makespan_degradation,
+            "resched_degradation": self.rescheduling_recovery.makespan_degradation,
+            "resched_retries": float(self.rescheduling_recovery.retries),
+            "resched_dead_lettered": float(self.rescheduling_recovery.dead_lettered),
+            "resched_mttr": self.rescheduling_recovery.mttr,
+        }
+
+
+@dataclass
+class ChaosReport:
+    """All cells of one suite plus aggregate views."""
+
+    scenario_name: str
+    config: ChaosConfig
+    cells: list[ChaosCell] = field(default_factory=list)
+
+    def mean_degradation(self, recovery: str = "rescheduling") -> dict[str, float]:
+        """Mean makespan-degradation ratio per scheduler name."""
+        if recovery not in ("rescheduling", "round_robin"):
+            raise ValueError(f"unknown recovery strategy {recovery!r}")
+        ratios: dict[str, list[float]] = {}
+        for cell in self.cells:
+            m = (
+                cell.rescheduling_recovery
+                if recovery == "rescheduling"
+                else cell.round_robin_recovery
+            )
+            ratios.setdefault(cell.scheduler_name, []).append(m.makespan_degradation)
+        return {name: float(np.mean(vals)) for name, vals in ratios.items()}
+
+    def to_rows(self) -> list[dict[str, float | str | int]]:
+        """Flat rows (one per cell) for CSV/tabular reporting."""
+        return [
+            {"scheduler": c.scheduler_name, "seed": c.seed, "faults": c.plan_size,
+             **c.summary()}
+            for c in self.cells
+        ]
+
+
+def run_chaos_suite(
+    scenario: ScenarioSpec,
+    schedulers: Mapping[str, Scheduler],
+    seeds: Sequence[int] = (0,),
+    config: ChaosConfig | None = None,
+    *,
+    retry_policy: RetryPolicy | None = None,
+    execution_model: str = "space-shared",
+) -> ChaosReport:
+    """Run the full chaos grid: schedulers × seeds × {baseline, RR, resched}.
+
+    Each cell generates its own plan from
+    ``spawn_rng(seed, "chaos/<scenario>")`` — all schedulers at one seed
+    face the *same* faults, so differences in degradation are attributable
+    to the recovery placement, not the draw.
+    """
+    config = config or ChaosConfig()
+    report = ChaosReport(scenario_name=scenario.name, config=config)
+    for seed in seeds:
+        plan_rng = spawn_rng(seed, f"chaos/{scenario.name}")
+        plan: list[FaultEvent] | None = None
+        for name, scheduler in schedulers.items():
+            baseline = CloudSimulation(
+                scenario, scheduler, seed=seed, execution_model=execution_model
+            ).run()
+            if plan is None:
+                plan = generate_fault_plan(
+                    scenario, baseline.makespan, config, plan_rng
+                )
+            rr = run_with_failures(
+                scenario, scheduler, plan, seed=seed,
+                execution_model=execution_model,
+            )
+            resched = run_resilient(
+                scenario, scheduler, plan, seed=seed,
+                retry_policy=retry_policy, execution_model=execution_model,
+            )
+            report.cells.append(
+                ChaosCell(
+                    scheduler_name=name,
+                    seed=seed,
+                    plan_size=len(plan),
+                    baseline=baseline,
+                    round_robin=rr,
+                    rescheduling=resched,
+                    round_robin_recovery=recovery_metrics(baseline, rr),
+                    rescheduling_recovery=recovery_metrics(baseline, resched),
+                )
+            )
+    return report
+
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosCell",
+    "ChaosReport",
+    "generate_fault_plan",
+    "run_chaos_suite",
+]

@@ -37,6 +37,8 @@ class CloudletScheduler(abc.ABC):
         self._mips = 0.0
         self._pes = 0
         self._bound = False
+        #: straggler factor: effective per-PE MIPS is ``mips * _mips_scale``.
+        self._mips_scale = 1.0
 
     def bind(self, mips: float, pes: int) -> None:
         """Attach the scheduler to a VM's capacity.  Called by ``Vm``."""
@@ -55,6 +57,31 @@ class CloudletScheduler(abc.ABC):
     @property
     def pes(self) -> int:
         return self._pes
+
+    @property
+    def mips_scale(self) -> float:
+        """Current straggler factor (1.0 = full speed)."""
+        return self._mips_scale
+
+    @property
+    def effective_mips(self) -> float:
+        """Per-PE MIPS after straggler scaling."""
+        return self._mips * self._mips_scale
+
+    def set_mips_scale(self, scale: float, now: float) -> None:
+        """Change the VM's effective speed at time ``now``.
+
+        Callers must :meth:`advance_to` ``now`` first so no completion that
+        predates the rate change is still pending; in-flight work is then
+        re-timed under the new rate.
+        """
+        self._require_bound()
+        if scale <= 0:
+            raise ValueError(f"mips scale must be positive, got {scale}")
+        if scale == self._mips_scale:
+            return
+        self._retime(now, scale)
+        self._mips_scale = float(scale)
 
     def _require_bound(self) -> None:
         if not self._bound:
@@ -81,6 +108,28 @@ class CloudletScheduler(abc.ABC):
     @abc.abstractmethod
     def resident_cloudlets(self) -> Iterable[Cloudlet]:
         """Cloudlets currently queued or running."""
+
+    @abc.abstractmethod
+    def drain_resident(self, now: float) -> list[Cloudlet]:
+        """Evict every resident cloudlet, leaving the scheduler empty.
+
+        Each returned cloudlet's ``remaining_length`` reflects its true
+        progress at ``now`` (so callers can account lost work before
+        resetting it for retry).  Used by the VM-failure path.
+        """
+
+    @abc.abstractmethod
+    def remove(self, cloudlet: Cloudlet, now: float) -> bool:
+        """Evict one resident cloudlet (speculative-execution cancel).
+
+        Returns ``False`` when the cloudlet is not resident (already
+        finished or never submitted here).  On success the cloudlet's
+        ``remaining_length`` reflects its progress at ``now``.
+        """
+
+    @abc.abstractmethod
+    def _retime(self, now: float, new_scale: float) -> None:
+        """Re-time in-flight work for a rate change at ``now``."""
 
     @property
     @abc.abstractmethod
@@ -116,7 +165,7 @@ class CloudletSchedulerSpaceShared(CloudletScheduler):
 
     def _start(self, cloudlet: Cloudlet, time: float) -> None:
         cloudlet.mark_running(time)
-        run_time = cloudlet.remaining_length / self._mips
+        run_time = cloudlet.remaining_length / self.effective_mips
         self._tick += 1
         heapq.heappush(self._running, (time + run_time, self._tick, cloudlet))
 
@@ -140,6 +189,47 @@ class CloudletSchedulerSpaceShared(CloudletScheduler):
         for _, _, cloudlet in self._running:
             yield cloudlet
         yield from self._queue
+
+    def _record_progress(self, cloudlet: Cloudlet, finish_time: float, now: float) -> None:
+        """Burn the running cloudlet's remaining length down to its value at ``now``."""
+        remaining = max(0.0, (finish_time - now) * self.effective_mips)
+        cloudlet.remaining_length = min(cloudlet.remaining_length, remaining)
+
+    def drain_resident(self, now: float) -> list[Cloudlet]:
+        evicted: list[Cloudlet] = []
+        for finish_time, _, cloudlet in self._running:
+            self._record_progress(cloudlet, finish_time, now)
+            evicted.append(cloudlet)
+        evicted.extend(self._queue)
+        self._running.clear()
+        self._queue.clear()
+        return evicted
+
+    def remove(self, cloudlet: Cloudlet, now: float) -> bool:
+        for i, queued in enumerate(self._queue):
+            if queued is cloudlet:
+                del self._queue[i]
+                return True
+        for i, (finish_time, _, running) in enumerate(self._running):
+            if running is cloudlet:
+                self._record_progress(cloudlet, finish_time, now)
+                self._running[i] = self._running[-1]
+                self._running.pop()
+                heapq.heapify(self._running)
+                # The freed PE admits the next queued cloudlet immediately.
+                if self._queue:
+                    self._start(self._queue.popleft(), now)
+                return True
+        return False
+
+    def _retime(self, now: float, new_scale: float) -> None:
+        new_mips = self._mips * new_scale
+        retimed: list[tuple[float, int, Cloudlet]] = []
+        for finish_time, tick, cloudlet in self._running:
+            self._record_progress(cloudlet, finish_time, now)
+            retimed.append((now + cloudlet.remaining_length / new_mips, tick, cloudlet))
+        self._running = retimed
+        heapq.heapify(self._running)
 
     @property
     def busy(self) -> bool:
@@ -165,7 +255,8 @@ class CloudletSchedulerTimeShared(CloudletScheduler):
         k = len(self._resident)
         if k == 0:
             return 0.0
-        return min(self._mips, self._mips * self._pes / k)
+        mips = self.effective_mips
+        return min(mips, mips * self._pes / k)
 
     def submit(self, cloudlet: Cloudlet, now: float) -> None:
         self._require_bound()
@@ -219,6 +310,25 @@ class CloudletSchedulerTimeShared(CloudletScheduler):
 
     def resident_cloudlets(self) -> Iterable[Cloudlet]:
         return iter(self._resident)
+
+    def drain_resident(self, now: float) -> list[Cloudlet]:
+        self._integrate_to(now)
+        evicted = self._resident
+        self._resident = []
+        return evicted
+
+    def remove(self, cloudlet: Cloudlet, now: float) -> bool:
+        self._integrate_to(now)
+        for i, resident in enumerate(self._resident):
+            if resident is cloudlet:
+                del self._resident[i]
+                return True
+        return False
+
+    def _retime(self, now: float, new_scale: float) -> None:
+        # Progress integrates from remaining lengths, so it suffices to burn
+        # down under the old rate; the next integration uses the new one.
+        self._integrate_to(now)
 
     @property
     def busy(self) -> bool:

@@ -10,6 +10,21 @@ Handles the CloudSim datacenter protocol:
   *now*, return finished cloudlets to their broker (``CLOUDLET_RETURN``)
   and arm the next wake-up at the earliest predicted completion.
 
+Fault protocol (driven by :mod:`repro.cloud.faults`):
+
+* ``VM_FAILURE`` / ``HOST_FAILURE`` — crash one VM / every VM co-located
+  on a host.  Work whose exact completion precedes the crash is credited;
+  resident work loses its progress (accounted in :attr:`Datacenter.lost_mi`)
+  and bounces to the owning broker as ``FAILED``.  The owner receives a
+  ``FAULT_NOTICE`` *before* the bounced cloudlets of the same fault.
+* ``VM_RECOVER`` — a fresh VM with the failed VM's id is re-placed on a
+  healthy host; the owner is notified on success.
+* ``VM_SLOWDOWN`` / ``VM_SLOWDOWN_END`` — straggler window: the VM's
+  effective MIPS is scaled; in-flight work is re-timed.
+* ``CLOUDLET_CANCEL`` — speculative-execution abort: an unfinished
+  resident cloudlet bounces back ``FAILED``; late cancels (the cloudlet
+  already finished) are no-ops.
+
 Scalability: the datacenter keeps a lazy heap of ``(next completion time,
 vm_id)`` entries so each submission and each completion costs O(log #VMs)
 rather than a scan of the fleet; stale heap entries (a VM whose horizon
@@ -21,7 +36,8 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Literal, Sequence
 
 from repro.cloud.characteristics import DatacenterCharacteristics
 from repro.cloud.cloudlet import Cloudlet, CloudletStatus
@@ -33,6 +49,19 @@ from repro.core.eventqueue import Event
 from repro.core.tags import EventTag
 
 _EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class FaultNotice:
+    """Payload of a ``FAULT_NOTICE`` event: the fleet changed under a broker.
+
+    ``vm-failed`` notices are delivered before the bounced cloudlets of the
+    same fault (same instant, earlier serial), so resilient brokers always
+    learn about a death before they see its casualties.
+    """
+
+    kind: Literal["vm-failed", "vm-recovered"]
+    vm_ids: tuple[int, ...]
 
 
 class Datacenter(Entity):
@@ -78,6 +107,18 @@ class Datacenter(Entity):
         self._migrating: set[int] = set()
         self.migrations_completed = 0
         self.migrations_rejected = 0
+        #: hosts taken down by ``HOST_FAILURE``; excluded from recovery placement.
+        self._failed_hosts: set[int] = set()
+        #: MI of partial progress destroyed by failures and cancels.
+        self.lost_mi = 0.0
+        self.vm_failures = 0
+        self.host_failures = 0
+        self.recoveries = 0
+        self.recoveries_rejected = 0
+        #: fault deliveries targeting VMs that were already gone (e.g. a
+        #: planned VM failure whose target died earlier in a host crash).
+        self.faults_ignored = 0
+        self.cancellations = 0
 
     # -- event dispatch --------------------------------------------------------
 
@@ -88,12 +129,23 @@ class Datacenter(Entity):
             self._process_vm_destroy(event)
         elif event.tag is EventTag.VM_FAILURE:
             self._process_vm_failure(event)
+        elif event.tag is EventTag.HOST_FAILURE:
+            self._process_host_failure(event)
+        elif event.tag is EventTag.VM_RECOVER:
+            self._process_vm_recover(event)
+        elif event.tag is EventTag.VM_SLOWDOWN:
+            vm_id, factor = event.data
+            self._process_vm_slowdown(vm_id, factor)
+        elif event.tag is EventTag.VM_SLOWDOWN_END:
+            self._process_vm_slowdown(event.data, 1.0)
         elif event.tag is EventTag.VM_MIGRATE:
             self._process_vm_migrate(event)
         elif event.tag is EventTag.VM_MIGRATION_COMPLETE:
             self._process_migration_complete(event)
         elif event.tag is EventTag.CLOUDLET_SUBMIT:
             self._process_cloudlet_submit(event)
+        elif event.tag is EventTag.CLOUDLET_CANCEL:
+            self._process_cloudlet_cancel(event)
         elif event.tag is EventTag.VM_DATACENTER_EVENT:
             self._pending_update = None
             self._process_completions()
@@ -173,24 +225,98 @@ class Datacenter(Entity):
 
         Cloudlets whose exact completion instants precede the failure are
         returned as successes; everything still resident is reset (partial
-        progress lost) and bounced to the owning broker with ``FAILED``
-        status so a resilient broker can resubmit it.
+        progress lost, accounted in :attr:`lost_mi`) and bounced to the
+        owning broker with ``FAILED`` status so a resilient broker can
+        resubmit it.  Failures of VMs already gone (killed earlier by a
+        co-located host crash) are counted and ignored.
         """
         vm_id: int = event.data
-        vm = self._vms.pop(vm_id, None)
-        if vm is None:
-            raise ValueError(f"{self.name}: cannot fail unknown vm {vm_id}")
+        if vm_id not in self._vms:
+            self.faults_ignored += 1
+            return
+        self.vm_failures += 1
+        self._fail_vm(vm_id)
+        self._arm_next()
+
+    def _process_host_failure(self, event: Event) -> None:
+        """Crash the host of an anchor VM, killing every co-located VM."""
+        anchor_id: int = event.data
+        vm = self._vms.get(anchor_id)
+        if vm is None or vm.host is None:
+            self.faults_ignored += 1
+            return
+        host = vm.host
+        self._failed_hosts.add(host.host_id)
+        self.host_failures += 1
+        for victim in list(host.vms):
+            self._fail_vm(victim.vm_id)
+        self._arm_next()
+
+    def _fail_vm(self, vm_id: int) -> None:
+        """Shared VM-death path: credit, notify the owner, bounce, destroy."""
+        vm = self._vms.pop(vm_id)
         owner = self._vm_owner.pop(vm_id)
         scheduler = vm.cloudlet_scheduler
-        for cloudlet in scheduler.advance_to(self.now):
+        finished = scheduler.advance_to(self.now)
+        bounced = scheduler.drain_resident(self.now)
+        # The death notice precedes the casualties (same instant, earlier
+        # serial) so the owner never retries onto the VM that just died.
+        self.send_now(
+            owner, EventTag.FAULT_NOTICE, data=FaultNotice("vm-failed", (vm_id,))
+        )
+        for cloudlet in finished:
             self._account_finished(cloudlet, vm)
             self.send_now(owner, EventTag.CLOUDLET_RETURN, data=cloudlet)
-        for cloudlet in list(scheduler.resident_cloudlets()):
+        for cloudlet in bounced:
+            self.lost_mi += cloudlet.length - cloudlet.remaining_length
             cloudlet.reset_for_retry()
             cloudlet.status = CloudletStatus.FAILED
             self.send_now(owner, EventTag.CLOUDLET_RETURN, data=cloudlet)
         if vm.host is not None:
             vm.host.destroy_vm(vm)
+
+    def _process_vm_recover(self, event: Event) -> None:
+        """Return a failed VM to service on a healthy host.
+
+        The payload carries a *fresh* VM (same id, empty scheduler) plus the
+        owning broker's entity id.  Placement is retried over the hosts that
+        have not themselves failed; if none can take the VM the recovery is
+        dropped (the broker keeps avoiding the VM).
+        """
+        vm, owner = event.data
+        if vm.vm_id in self._vms:
+            self.recoveries_rejected += 1
+            return
+        healthy = [h for h in self.hosts if h.host_id not in self._failed_hosts]
+        if not healthy or not self.vm_allocation_policy.allocate(healthy, vm):
+            self.recoveries_rejected += 1
+            return
+        vm.datacenter_id = self.id
+        self._vms[vm.vm_id] = vm
+        self._vm_owner[vm.vm_id] = owner
+        self.recoveries += 1
+        self.send_now(
+            owner, EventTag.FAULT_NOTICE, data=FaultNotice("vm-recovered", (vm.vm_id,))
+        )
+
+    def _process_vm_slowdown(self, vm_id: int, factor: float) -> None:
+        """Scale a VM's effective MIPS (straggler start/end).
+
+        Completions that predate the rate change are credited first, then
+        in-flight work is re-timed.  Slowdowns targeting dead VMs are
+        harmless no-ops (the VM may have crashed mid-window).
+        """
+        vm = self._vms.get(vm_id)
+        if vm is None:
+            self.faults_ignored += 1
+            return
+        scheduler = vm.cloudlet_scheduler
+        owner = self._vm_owner[vm_id]
+        for cloudlet in scheduler.advance_to(self.now):
+            self._account_finished(cloudlet, vm)
+            self.send_now(owner, EventTag.CLOUDLET_RETURN, data=cloudlet)
+        scheduler.set_mips_scale(factor, self.now)
+        self._push_horizon(vm)
         self._arm_next()
 
     # -- cloudlet execution ---------------------------------------------------------
@@ -204,6 +330,31 @@ class Datacenter(Entity):
             return
         cloudlet.mark_submitted(self.now, vm.vm_id, self.id)
         vm.cloudlet_scheduler.submit(cloudlet, self.now)
+        self._push_horizon(vm)
+        self._arm_next()
+
+    def _process_cloudlet_cancel(self, event: Event) -> None:
+        """Abort a resident cloudlet (speculative re-execution).
+
+        Completions that predate the cancel win: the VM is advanced first,
+        so a cancel racing the cloudlet's own finish is a no-op.  A
+        successful cancel bounces the cloudlet back ``FAILED`` with its
+        partial progress accounted as lost.
+        """
+        cloudlet: Cloudlet = event.data
+        vm = self._vms.get(cloudlet.vm_id)
+        if vm is None:
+            return  # the VM died; the failure path already bounced it
+        owner = self._vm_owner[cloudlet.vm_id]
+        for finished in vm.cloudlet_scheduler.advance_to(self.now):
+            self._account_finished(finished, vm)
+            self.send_now(owner, EventTag.CLOUDLET_RETURN, data=finished)
+        if vm.cloudlet_scheduler.remove(cloudlet, self.now):
+            self.cancellations += 1
+            self.lost_mi += cloudlet.length - cloudlet.remaining_length
+            cloudlet.reset_for_retry()
+            cloudlet.status = CloudletStatus.FAILED
+            self.send_now(event.src, EventTag.CLOUDLET_RETURN, data=cloudlet)
         self._push_horizon(vm)
         self._arm_next()
 
@@ -270,4 +421,4 @@ class Datacenter(Entity):
         return self._vms[vm_id]
 
 
-__all__ = ["Datacenter"]
+__all__ = ["Datacenter", "FaultNotice"]

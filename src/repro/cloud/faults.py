@@ -1,37 +1,62 @@
-"""Fault injection: VM failures and resilient brokering.
+"""Fault model: failures, recoveries, stragglers, and resilient brokering.
 
 Cloud schedulers are motivated by self-management under change; this module
-injects the sharpest change — a VM dying mid-batch — and provides the
-recovery path:
+injects that change and provides the simplest recovery path.  The fault
+*plan* is a list of declarative events:
 
-* :class:`VmFailure` — a (vm index, time) failure plan entry;
-* :class:`FaultInjector` — an entity that delivers ``VM_FAILURE`` events to
-  the owning datacenter on schedule;
-* datacenter-side handling lives in the datacenter's ``VM_FAILURE``
-  branch: work completed strictly before the crash is credited, unfinished
-  work on the dead VM loses its progress and is bounced back to the broker;
-* :class:`ResilientBroker` — resubmits bounced cloudlets round-robin over
-  the surviving VMs;
-* :func:`run_with_failures` — one-call façade returning the usual
-  :class:`~repro.cloud.simulation.SimulationResult` plus retry accounting.
+* :class:`VmFailure` — a VM dies at ``at_time``; with a finite ``downtime``
+  its capacity returns (a fresh VM, progress lost) after that long;
+* :class:`HostFailure` — the physical host running an anchor VM dies,
+  killing every co-located VM at once (correlated failure);
+* :class:`VmSlowdown` — a transient straggler: the VM's effective MIPS is
+  scaled by ``factor`` for ``duration`` seconds.
+
+:func:`validate_fault_plan` rejects plans with undefined semantics
+(duplicate failures without an intervening recovery, two events on the
+same VM at an identical instant).  :class:`FaultInjector` schedules the
+validated plan into the kernel; datacenter-side handling lives in
+:class:`~repro.cloud.datacenter.Datacenter`.
+
+Ordering contract at a fault instant ``t``
+------------------------------------------
+
+1. Fault deliveries to datacenters fire first
+   (:data:`FAULT_DELIVERY_PRIORITY` ``= -1``), beating the datacenter
+   wake-up (priority ``+1``) that would process completions at ``t`` —
+   so work finishing exactly at the crash is credited by the failure
+   handler itself, not raced by it.
+2. The datacenter then emits, in serial order at priority 0: the
+   ``FAULT_NOTICE`` to the owning broker, credited completions, and the
+   bounced ``FAILED`` cloudlets.  A broker therefore always learns of a
+   death *before* it sees the casualties, and never retries onto the VM
+   that just died.
+
+Recovery here is the blind baseline: :class:`ResilientBroker` resubmits
+bounced cloudlets round-robin over the surviving VMs.  Scheduler-driven
+recovery (ACO/HBO/RBS re-invoked over the survivors), retry backoff and
+dead-lettering live in :mod:`repro.cloud.resilience`; randomized fault
+plans in :mod:`repro.cloud.chaos`.
 """
 
 from __future__ import annotations
 
 import time
+from collections import defaultdict
 from dataclasses import dataclass
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.cloud.broker import DatacenterBroker
 from repro.cloud.cloudlet import Cloudlet, CloudletStatus
-from repro.cloud.datacenter import Datacenter
+from repro.cloud.datacenter import FaultNotice
 from repro.cloud.simulation import (
     SimulationResult,
-    build_hosts_for_datacenter,
+    build_simulation,
     compute_batch_costs,
+    make_cloudlet_scheduler,
 )
-from repro.core.engine import Simulation
+from repro.cloud.vm import Vm
 from repro.core.entity import Entity
 from repro.core.eventqueue import Event
 from repro.core.tags import EventTag
@@ -39,10 +64,43 @@ from repro.metrics.definitions import makespan, time_imbalance
 from repro.schedulers.base import Scheduler, SchedulingContext
 from repro.workloads.spec import ScenarioSpec
 
+#: Priority of injector→datacenter fault deliveries: a fault at instant
+#: ``t`` is handled before the datacenter wake-up (priority +1) and before
+#: any same-instant priority-0 traffic queued after it.  See the module
+#: docstring for the full ordering contract.
+FAULT_DELIVERY_PRIORITY = -1
+
 
 @dataclass(frozen=True, slots=True)
 class VmFailure:
-    """One planned VM failure."""
+    """One planned VM failure, optionally followed by a recovery.
+
+    With ``downtime=None`` the VM is gone for good; with a finite downtime
+    a fresh VM (same id, empty scheduler — all progress was lost) is
+    re-placed ``downtime`` seconds after the crash.
+    """
+
+    vm_index: int
+    at_time: float
+    downtime: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.vm_index < 0:
+            raise ValueError(f"vm_index must be non-negative, got {self.vm_index}")
+        if self.at_time < 0:
+            raise ValueError(f"at_time must be non-negative, got {self.at_time}")
+        if self.downtime is not None and self.downtime <= 0:
+            raise ValueError(f"downtime must be positive, got {self.downtime}")
+
+
+@dataclass(frozen=True, slots=True)
+class HostFailure:
+    """A correlated failure: the host running VM ``vm_index`` crashes.
+
+    Every VM co-located on that host dies at ``at_time`` (which VMs those
+    are depends on the allocation policy's runtime placement); the host is
+    marked dead and excluded from later recovery placements.
+    """
 
     vm_index: int
     at_time: float
@@ -54,45 +112,188 @@ class VmFailure:
             raise ValueError(f"at_time must be non-negative, got {self.at_time}")
 
 
+@dataclass(frozen=True, slots=True)
+class VmSlowdown:
+    """A transient straggler window.
+
+    The VM's effective MIPS is multiplied by ``factor`` at ``at_time`` and
+    restored ``duration`` seconds later; in-flight work is re-timed at both
+    edges, no progress is lost.
+    """
+
+    vm_index: int
+    at_time: float
+    duration: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.vm_index < 0:
+            raise ValueError(f"vm_index must be non-negative, got {self.vm_index}")
+        if self.at_time < 0:
+            raise ValueError(f"at_time must be non-negative, got {self.at_time}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if not 0 < self.factor <= 1:
+            raise ValueError(f"factor must be in (0, 1], got {self.factor}")
+
+
+FaultEvent = VmFailure | HostFailure | VmSlowdown
+
+
+def validate_fault_plan(
+    plan: Sequence[FaultEvent], num_vms: int
+) -> list[FaultEvent]:
+    """Check a fault plan for well-defined semantics; return it as a list.
+
+    Rejected: events referencing VM indices outside ``[0, num_vms)``; two
+    events touching the same VM at an identical instant (delivery order
+    would be undefined); a second failure of a VM that never recovers from
+    (or has not yet recovered from) an earlier one.  Host-failure blast
+    radii depend on runtime placement, so only their anchor VMs are checked
+    — victims of a host crash are handled tolerantly at runtime instead.
+    """
+    instants: dict[int, set[float]] = defaultdict(set)
+    failures: dict[int, list[VmFailure | HostFailure]] = defaultdict(list)
+
+    def claim(vm_index: int, at: float, what: str) -> None:
+        if at in instants[vm_index]:
+            raise ValueError(
+                f"fault plan schedules two events for vm {vm_index} at the "
+                f"identical instant t={at} ({what}); ordering would be undefined"
+            )
+        instants[vm_index].add(at)
+
+    for entry in plan:
+        if not isinstance(entry, (VmFailure, HostFailure, VmSlowdown)):
+            raise TypeError(f"unknown fault plan entry {entry!r}")
+        if not 0 <= entry.vm_index < num_vms:
+            raise ValueError(
+                f"fault vm_index {entry.vm_index} out of range "
+                f"(scenario has {num_vms} VMs)"
+            )
+        if isinstance(entry, VmFailure):
+            claim(entry.vm_index, entry.at_time, "failure")
+            if entry.downtime is not None:
+                claim(entry.vm_index, entry.at_time + entry.downtime, "recovery")
+            failures[entry.vm_index].append(entry)
+        elif isinstance(entry, HostFailure):
+            claim(entry.vm_index, entry.at_time, "host failure")
+            failures[entry.vm_index].append(entry)
+        else:
+            claim(entry.vm_index, entry.at_time, "slowdown")
+            claim(entry.vm_index, entry.at_time + entry.duration, "slowdown end")
+
+    for vm_index, entries in failures.items():
+        entries.sort(key=lambda e: e.at_time)
+        for first, second in zip(entries, entries[1:]):
+            recovered_at = (
+                first.at_time + first.downtime
+                if isinstance(first, VmFailure) and first.downtime is not None
+                else None
+            )
+            if recovered_at is None:
+                raise ValueError(
+                    f"duplicate failure of vm {vm_index}: it never recovers "
+                    f"from the failure at t={first.at_time}"
+                )
+            if recovered_at >= second.at_time:
+                raise ValueError(
+                    f"vm {vm_index} fails again at t={second.at_time} before "
+                    f"recovering at t={recovered_at}"
+                )
+    return list(plan)
+
+
 class FaultInjector(Entity):
-    """Delivers scheduled VM failures to their datacenters."""
+    """Schedules a validated fault plan into the kernel.
+
+    Parameters
+    ----------
+    name:
+        Entity name.
+    plan:
+        Fault events; see :func:`validate_fault_plan`.
+    vm_entity:
+        ``vm index -> owning datacenter entity id``.
+    owner_id:
+        Broker entity id recovered VMs are re-registered to.  Required when
+        the plan contains recoveries.
+    vm_factory:
+        ``vm index -> fresh Vm`` used to materialise recovered capacity.
+        Required when the plan contains recoveries.
+    """
 
     def __init__(
         self,
         name: str,
-        failures: list[VmFailure],
+        plan: Sequence[FaultEvent],
         vm_entity: dict[int, int],
+        *,
+        owner_id: int | None = None,
+        vm_factory: Callable[[int], Vm] | None = None,
     ) -> None:
-        """``vm_entity`` maps vm index → owning datacenter entity id."""
         super().__init__(name)
-        for failure in failures:
-            if failure.vm_index not in vm_entity:
-                raise ValueError(f"failure references unknown vm index {failure.vm_index}")
-        self.failures = list(failures)
+        for entry in plan:
+            if entry.vm_index not in vm_entity:
+                raise ValueError(
+                    f"failure references unknown vm index {entry.vm_index}"
+                )
+        has_recoveries = any(
+            isinstance(e, VmFailure) and e.downtime is not None for e in plan
+        )
+        if has_recoveries and (owner_id is None or vm_factory is None):
+            raise ValueError(
+                "fault plans with recoveries require owner_id and vm_factory"
+            )
+        self.plan = list(plan)
         self.vm_entity = dict(vm_entity)
+        self.owner_id = owner_id
+        self.vm_factory = vm_factory
 
     def start(self) -> None:
-        for failure in self.failures:
-            self.schedule_self(failure.at_time, EventTag.TIMER, data=failure)
+        for entry in self.plan:
+            dc_id = self.vm_entity[entry.vm_index]
+            if isinstance(entry, VmFailure):
+                self.send(
+                    dc_id, entry.at_time, EventTag.VM_FAILURE,
+                    data=entry.vm_index, priority=FAULT_DELIVERY_PRIORITY,
+                )
+                if entry.downtime is not None:
+                    assert self.vm_factory is not None  # checked in __init__
+                    fresh = self.vm_factory(entry.vm_index)
+                    self.send(
+                        dc_id, entry.at_time + entry.downtime, EventTag.VM_RECOVER,
+                        data=(fresh, self.owner_id),
+                        priority=FAULT_DELIVERY_PRIORITY,
+                    )
+            elif isinstance(entry, HostFailure):
+                self.send(
+                    dc_id, entry.at_time, EventTag.HOST_FAILURE,
+                    data=entry.vm_index, priority=FAULT_DELIVERY_PRIORITY,
+                )
+            else:
+                self.send(
+                    dc_id, entry.at_time, EventTag.VM_SLOWDOWN,
+                    data=(entry.vm_index, entry.factor),
+                    priority=FAULT_DELIVERY_PRIORITY,
+                )
+                self.send(
+                    dc_id, entry.at_time + entry.duration, EventTag.VM_SLOWDOWN_END,
+                    data=entry.vm_index, priority=FAULT_DELIVERY_PRIORITY,
+                )
 
     def process_event(self, event: Event) -> None:
-        if event.tag is not EventTag.TIMER:
-            raise ValueError(f"{self.name}: unexpected event tag {event.tag!r}")
-        failure: VmFailure = event.data
-        self.send_now(
-            self.vm_entity[failure.vm_index],
-            EventTag.VM_FAILURE,
-            data=failure.vm_index,
-            priority=-1,  # fail before same-instant completions are processed
-        )
+        raise ValueError(f"{self.name}: unexpected event tag {event.tag!r}")
 
 
 class ResilientBroker(DatacenterBroker):
     """A broker that resubmits cloudlets bounced off failed VMs.
 
     Recovery policy: round-robin over the VMs still alive (the simplest
-    self-healing rule; scheduler-driven recovery can subclass
-    :meth:`choose_retry_vm`).
+    self-healing rule; scheduler-driven recovery lives in
+    :class:`repro.cloud.resilience.ReschedulingBroker`).  The rotation
+    cursor walks *VM indices*, not positions of the shrinking alive array,
+    so the sequence stays stable across repeated failures.
     """
 
     def __init__(self, *args, **kwargs) -> None:
@@ -106,26 +307,35 @@ class ResilientBroker(DatacenterBroker):
     def mark_failed_vm(self, vm_index: int) -> None:
         self._alive[vm_index] = False
 
+    def mark_recovered_vm(self, vm_index: int) -> None:
+        self._alive[vm_index] = True
+
+    @property
+    def dead_vm_indices(self) -> list[int]:
+        """Indices of VMs currently believed dead."""
+        return [int(i) for i in np.flatnonzero(~self._alive)]
+
     def process_event(self, event: Event) -> None:
-        # Failure notifications ride on NONE events with a tagged payload.
-        if (
-            event.tag is EventTag.NONE
-            and isinstance(event.data, tuple)
-            and len(event.data) == 2
-            and event.data[0] == "vm-failed"
-        ):
-            self.mark_failed_vm(int(event.data[1]))
+        if event.tag is EventTag.FAULT_NOTICE:
+            notice: FaultNotice = event.data
+            if notice.kind == "vm-failed":
+                for vm_index in notice.vm_ids:
+                    self.mark_failed_vm(vm_index)
+            elif notice.kind == "vm-recovered":
+                for vm_index in notice.vm_ids:
+                    self.mark_recovered_vm(vm_index)
             return
         super().process_event(event)
 
     def choose_retry_vm(self, cloudlet: Cloudlet) -> int:
-        """Pick a surviving VM for a bounced cloudlet."""
-        alive = np.flatnonzero(self._alive)
-        if alive.size == 0:
-            raise RuntimeError("every VM has failed; cloudlets cannot be recovered")
-        vm = int(alive[self._retry_cursor % alive.size])
-        self._retry_cursor += 1
-        return vm
+        """Pick a surviving VM for a bounced cloudlet (stable round-robin)."""
+        num_vms = len(self.vms)
+        for _ in range(num_vms):
+            vm_index = self._retry_cursor % num_vms
+            self._retry_cursor += 1
+            if self._alive[vm_index]:
+                return vm_index
+        raise RuntimeError("every VM has failed; cloudlets cannot be recovered")
 
     def _process_return(self, event: Event) -> None:
         cloudlet: Cloudlet = event.data
@@ -146,63 +356,47 @@ class ResilientBroker(DatacenterBroker):
 def run_with_failures(
     scenario: ScenarioSpec,
     scheduler: Scheduler,
-    failures: list[VmFailure],
+    failures: Sequence[FaultEvent],
     seed: int | None = 0,
+    *,
+    execution_model: str = "space-shared",
 ) -> SimulationResult:
-    """Run a batch under a VM-failure plan with resilient recovery."""
-    for failure in failures:
-        if failure.vm_index >= scenario.num_vms:
-            raise ValueError(
-                f"failure vm_index {failure.vm_index} out of range "
-                f"(scenario has {scenario.num_vms} VMs)"
-            )
+    """Run a batch under a fault plan with blind round-robin recovery.
+
+    The plan may mix :class:`VmFailure` (with or without recovery),
+    :class:`HostFailure` and :class:`VmSlowdown` entries.  For
+    scheduler-driven recovery with retry backoff use
+    :func:`repro.cloud.resilience.run_resilient`.
+    """
+    validate_fault_plan(failures, scenario.num_vms)
 
     context = SchedulingContext.from_scenario(scenario, seed)
     t0 = time.perf_counter()
     decision = scheduler.schedule_checked(context)
     scheduling_time = time.perf_counter() - t0
 
-    sim = Simulation()
-    datacenters: list[Datacenter] = []
-    for dc_idx, dc_spec in enumerate(scenario.datacenters):
-        dc = Datacenter(
-            name=f"dc-{dc_idx}",
-            hosts=build_hosts_for_datacenter(scenario, dc_idx),
-            characteristics=dc_spec.characteristics,
-        )
-        sim.register(dc)
-        datacenters.append(dc)
-    vms = [spec.build(vm_id=i) for i, spec in enumerate(scenario.vms)]
-    cloudlets = [spec.build(cloudlet_id=i) for i, spec in enumerate(scenario.cloudlets)]
-    vm_placement = {i: datacenters[scenario.vm_datacenter[i]].id for i in range(len(vms))}
+    env = build_simulation(scenario, execution_model=execution_model)
     broker = ResilientBroker(
         name="resilient-broker",
-        vms=vms,
-        cloudlets=cloudlets,
+        vms=env.vms,
+        cloudlets=env.cloudlets,
         assignment=decision.assignment,
-        vm_placement=vm_placement,
+        vm_placement=env.vm_placement,
     )
-    sim.register(broker)
+    env.sim.register(broker)
     injector = FaultInjector(
         name="fault-injector",
-        failures=failures,
-        vm_entity=vm_placement,
+        plan=failures,
+        vm_entity=env.vm_placement,
+        owner_id=broker.id,
+        vm_factory=lambda i: scenario.vms[i].build(
+            vm_id=i, cloudlet_scheduler=make_cloudlet_scheduler(execution_model)
+        ),
     )
-    sim.register(injector)
-    # The broker learns about each death at the failure instant (before the
-    # datacenter bounces the dead VM's cloudlets, see priorities) so retries
-    # avoid dead VMs.
-    for failure in failures:
-        sim.schedule(
-            delay=failure.at_time,
-            src=-1,
-            dst=broker.id,
-            tag=EventTag.NONE,
-            data=("vm-failed", failure.vm_index),
-            priority=-2,
-        )
+    env.sim.register(injector)
 
-    sim.run()
+    env.sim.run()
+    cloudlets = env.cloudlets
     if not broker.all_finished:
         raise RuntimeError(
             f"failure run drained with {len(broker.finished)}/"
@@ -226,14 +420,28 @@ def run_with_failures(
         finish_times=finish,
         exec_times=finish - start,
         costs=costs,
-        events_processed=sim.events_processed,
+        events_processed=env.sim.events_processed,
         info={
             "engine": "des+faults",
             "retries": broker.retries,
             "failures": len(failures),
+            "failed_vms": broker.dead_vm_indices,
+            "lost_mi": float(sum(dc.lost_mi for dc in env.datacenters)),
+            "recoveries": int(sum(dc.recoveries for dc in env.datacenters)),
+            "host_failures": int(sum(dc.host_failures for dc in env.datacenters)),
             **decision.info,
         },
     )
 
 
-__all__ = ["VmFailure", "FaultInjector", "ResilientBroker", "run_with_failures"]
+__all__ = [
+    "FAULT_DELIVERY_PRIORITY",
+    "VmFailure",
+    "HostFailure",
+    "VmSlowdown",
+    "FaultEvent",
+    "validate_fault_plan",
+    "FaultInjector",
+    "ResilientBroker",
+    "run_with_failures",
+]

@@ -21,19 +21,13 @@ from collections import defaultdict
 import numpy as np
 
 from repro.cloud.cloudlet import Cloudlet, CloudletStatus
-from repro.cloud.cloudlet_scheduler import (
-    CloudletSchedulerSpaceShared,
-    CloudletSchedulerTimeShared,
-)
-from repro.cloud.datacenter import Datacenter
 from repro.cloud.simulation import (
     ExecutionModel,
     SimulationResult,
-    build_hosts_for_datacenter,
+    build_simulation,
     compute_batch_costs,
 )
 from repro.cloud.vm import Vm
-from repro.core.engine import Simulation
 from repro.core.entity import Entity
 from repro.core.eventqueue import Event
 from repro.core.rng import spawn_rng
@@ -193,36 +187,16 @@ class OnlineCloudSimulation:
         arrival_rng = spawn_rng(self.seed, f"arrivals/{scenario.name}")
         arrival_times = self.arrivals.sample(arrival_rng, scenario.num_cloudlets)
 
-        sim = Simulation()
-        datacenters: list[Datacenter] = []
-        for dc_idx, dc_spec in enumerate(scenario.datacenters):
-            dc = Datacenter(
-                name=f"dc-{dc_idx}",
-                hosts=build_hosts_for_datacenter(scenario, dc_idx),
-                characteristics=dc_spec.characteristics,
-            )
-            sim.register(dc)
-            datacenters.append(dc)
-        def make_scheduler():
-            if self.execution_model == "space-shared":
-                return CloudletSchedulerSpaceShared()
-            return CloudletSchedulerTimeShared()
-
-        vms = [
-            spec.build(vm_id=i, cloudlet_scheduler=make_scheduler())
-            for i, spec in enumerate(scenario.vms)
-        ]
-        cloudlets = [spec.build(cloudlet_id=i) for i, spec in enumerate(scenario.cloudlets)]
+        env = build_simulation(scenario, execution_model=self.execution_model)
+        sim, cloudlets = env.sim, env.cloudlets
         broker = OnlineBroker(
             name="online-broker",
-            vms=vms,
+            vms=env.vms,
             cloudlets=cloudlets,
             arrival_times=arrival_times,
             policy=self.policy,
             context=context,
-            vm_placement={
-                i: datacenters[scenario.vm_datacenter[i]].id for i in range(len(vms))
-            },
+            vm_placement=env.vm_placement,
         )
         sim.register(broker)
         sim.run()

@@ -1,0 +1,470 @@
+"""Failure-aware recovery: retry policies, rescheduling, speculation.
+
+This module upgrades the blind round-robin recovery of
+:mod:`repro.cloud.faults` to the full resilience stack of the study:
+
+* :class:`RetryPolicy` — *when* to retry a bounced cloudlet.  Policies
+  bound total execution attempts (``max_attempts``); exceeding the bound
+  dead-letters the cloudlet (it is abandoned deterministically and
+  reported in ``SimulationResult.info["dead_letter"]``).
+* :class:`ReschedulingBroker` — *where* to retry.  Bounced cloudlets are
+  buffered per retry instant and re-placed in one batch by re-invoking the
+  configured batch :class:`~repro.schedulers.base.Scheduler` over the
+  sub-problem of (bounced cloudlets × surviving VMs), via
+  :meth:`~repro.schedulers.base.SchedulingContext.restrict`.  The same
+  bio-inspired policy that placed the batch also heals it.
+* Speculative re-execution — an optional watchdog per dispatch: when a
+  cloudlet has not returned within ``speculation_multiple ×`` its expected
+  completion (queue backlog included), the broker cancels it
+  (``CLOUDLET_CANCEL``) and the bounce re-enters the retry path on a
+  different VM.  Modelled as cancel-and-restart, the conservative variant
+  of speculation: the copy is launched only after the original is
+  withdrawn, so one cloudlet never runs twice concurrently.
+
+:func:`run_resilient` is the façade; with an empty fault plan, the default
+retry policy and speculation off it reproduces the plain
+:class:`~repro.cloud.simulation.CloudSimulation` result bit-for-bit (a
+property test pins this).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.cloud.broker import DatacenterBroker
+from repro.cloud.cloudlet import Cloudlet, CloudletStatus
+from repro.cloud.datacenter import FaultNotice
+from repro.cloud.faults import FaultEvent, FaultInjector, validate_fault_plan
+from repro.cloud.simulation import (
+    ExecutionModel,
+    SimulationResult,
+    build_simulation,
+    compute_batch_costs,
+    make_cloudlet_scheduler,
+)
+from repro.core.eventqueue import Event
+from repro.core.rng import spawn_rng
+from repro.core.tags import EventTag
+from repro.metrics.definitions import makespan, time_imbalance
+from repro.schedulers.base import Scheduler, SchedulingContext
+from repro.workloads.spec import ScenarioSpec
+
+
+# -- retry policies -------------------------------------------------------------
+
+
+class RetryPolicy(abc.ABC):
+    """Decides whether/when execution attempt ``attempt`` may happen.
+
+    ``attempt`` counts *executions*: the initial dispatch is attempt 1, the
+    first retry is attempt 2.  :meth:`next_delay` returns the delay before
+    that attempt, or ``None`` once ``max_attempts`` is exhausted — the
+    caller then dead-letters the cloudlet.
+    """
+
+    def __init__(self, max_attempts: int = 5) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.max_attempts = max_attempts
+
+    def next_delay(self, attempt: int, rng: np.random.Generator) -> float | None:
+        """Delay before execution attempt ``attempt``; ``None`` = give up."""
+        if attempt < 2:
+            raise ValueError(f"retries start at attempt 2, got {attempt}")
+        if attempt > self.max_attempts:
+            return None
+        return self._delay(attempt, rng)
+
+    @abc.abstractmethod
+    def _delay(self, attempt: int, rng: np.random.Generator) -> float:
+        """Delay for a permitted attempt (``2 <= attempt <= max_attempts``)."""
+
+
+class ImmediateRetry(RetryPolicy):
+    """Retry in the same instant the bounce is observed."""
+
+    def _delay(self, attempt: int, rng: np.random.Generator) -> float:
+        return 0.0
+
+
+class FixedDelayRetry(RetryPolicy):
+    """Constant pause before every retry."""
+
+    def __init__(self, delay: float = 1.0, max_attempts: int = 5) -> None:
+        super().__init__(max_attempts)
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.delay = delay
+
+    def _delay(self, attempt: int, rng: np.random.Generator) -> float:
+        return self.delay
+
+
+class ExponentialBackoffRetry(RetryPolicy):
+    """Exponentially growing, jittered pause: ``base * factor^(attempt-2)``.
+
+    The multiplicative jitter is drawn from the broker's seeded generator
+    (uniform on ``[1-jitter, 1+jitter]``), so backoff schedules are
+    reproducible per run seed while still decorrelating retry storms.
+    """
+
+    def __init__(
+        self,
+        base_delay: float = 0.5,
+        factor: float = 2.0,
+        max_delay: float = 60.0,
+        jitter: float = 0.1,
+        max_attempts: int = 5,
+    ) -> None:
+        super().__init__(max_attempts)
+        if base_delay < 0 or max_delay < 0 or factor < 1:
+            raise ValueError("base_delay/max_delay must be >= 0 and factor >= 1")
+        if not 0 <= jitter < 1:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self.base_delay = base_delay
+        self.factor = factor
+        self.max_delay = max_delay
+        self.jitter = jitter
+
+    def _delay(self, attempt: int, rng: np.random.Generator) -> float:
+        raw = min(self.max_delay, self.base_delay * self.factor ** (attempt - 2))
+        if self.jitter:
+            raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return raw
+
+
+# -- the rescheduling broker ---------------------------------------------------
+
+
+class ReschedulingBroker(DatacenterBroker):
+    """Recovers from failures by re-invoking the batch scheduler.
+
+    Bounced cloudlets sharing a retry instant (e.g. every immediate retry
+    caused by one host crash) are re-placed in a *single* scheduler call
+    over the surviving VMs, so the recovery placement sees the whole
+    bounced batch — the same optimisation scope the initial decision had.
+
+    Parameters beyond :class:`~repro.cloud.broker.DatacenterBroker`:
+
+    scheduler / context:
+        The batch policy to re-invoke and the full scheduling context it
+        originally saw (rescheduling restricts it).
+    retry_policy:
+        When to retry; see :class:`RetryPolicy`.
+    rng:
+        Seeded generator feeding backoff jitter.
+    speculation_multiple:
+        ``None`` disables speculation (default).  Otherwise a dispatch arms
+        a watchdog at ``multiple ×`` the expected completion time; if the
+        cloudlet is still out when it fires, the broker cancels and retries
+        it elsewhere.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        vms,
+        cloudlets,
+        assignment,
+        vm_placement,
+        *,
+        scheduler: Scheduler,
+        context: SchedulingContext,
+        retry_policy: RetryPolicy,
+        rng: np.random.Generator,
+        speculation_multiple: float | None = None,
+        topology=None,
+    ) -> None:
+        super().__init__(name, vms, cloudlets, assignment, vm_placement, topology)
+        if speculation_multiple is not None and speculation_multiple <= 1:
+            raise ValueError(
+                f"speculation_multiple must exceed 1, got {speculation_multiple}"
+            )
+        self.scheduler = scheduler
+        self.context = context
+        self.retry_policy = retry_policy
+        self.rng = rng
+        self.speculation_multiple = speculation_multiple
+
+        num_cloudlets = len(self.cloudlets)
+        self._alive = np.ones(len(self.vms), dtype=bool)
+        #: execution attempts per cloudlet (1 = the initial dispatch).
+        self.attempts = np.zeros(num_cloudlets, dtype=np.int64)
+        self.final_assignment = np.asarray(assignment, dtype=np.int64).copy()
+        #: per-VM estimated outstanding execution seconds.
+        self.backlog = np.zeros(len(self.vms))
+        #: retry instant -> bounced cloudlet indices awaiting that instant.
+        self._retry_buckets: dict[float, list[int]] = {}
+        #: first bounce instant per still-unrecovered cloudlet (for MTTR).
+        self._bounce_time: dict[int, float] = {}
+        #: seconds from first bounce to successful finish, per recovered cloudlet.
+        self.recovery_times: list[float] = []
+        #: cloudlet indices abandoned after max_attempts.
+        self.dead_letter: list[int] = []
+        self.retries = 0
+        self.reschedules = 0
+        self.rescheduling_seconds = 0.0
+        self.speculative_cancels = 0
+
+    # -- fleet state -------------------------------------------------------------
+
+    @property
+    def dead_vm_indices(self) -> list[int]:
+        """Indices of VMs currently believed dead."""
+        return [int(i) for i in np.flatnonzero(~self._alive)]
+
+    @property
+    def all_finished(self) -> bool:
+        """Every cloudlet either finished or was deterministically abandoned."""
+        return len(self.finished) + len(self.dead_letter) == len(self.cloudlets)
+
+    # -- event handling ----------------------------------------------------------
+
+    def process_event(self, event: Event) -> None:
+        if event.tag is EventTag.FAULT_NOTICE:
+            self._process_fault_notice(event.data)
+        elif event.tag is EventTag.TIMER:
+            kind = event.data[0]
+            if kind == "retry":
+                self._process_retry_batch(event.data[1])
+            elif kind == "speculate":
+                self._process_speculation(event.data[1], event.data[2])
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"{self.name}: unknown timer {event.data!r}")
+        else:
+            super().process_event(event)
+
+    def _process_fault_notice(self, notice: FaultNotice) -> None:
+        if notice.kind == "vm-failed":
+            for vm_index in notice.vm_ids:
+                self._alive[vm_index] = False
+                # Resident estimates died with the VM; bounces re-add theirs
+                # at their retry dispatch.
+                self.backlog[vm_index] = 0.0
+        elif notice.kind == "vm-recovered":
+            for vm_index in notice.vm_ids:
+                self._alive[vm_index] = True
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _submit_cloudlets(self) -> None:
+        if self._submitted:
+            return
+        self._submitted = True
+        for c_idx in range(len(self.cloudlets)):
+            self.attempts[c_idx] = 1
+            self._dispatch(c_idx, int(self.assignment[c_idx]))
+
+    def _exec_estimate(self, c_idx: int, vm_idx: int) -> float:
+        arr = self.context.arrays
+        return float(
+            arr.cloudlet_length[c_idx] / (arr.vm_mips[vm_idx] * arr.vm_pes[vm_idx])
+        )
+
+    def _dispatch(self, c_idx: int, vm_idx: int) -> None:
+        """Send cloudlet ``c_idx`` to VM ``vm_idx`` and arm its watchdog."""
+        cloudlet = self.cloudlets[c_idx]
+        if cloudlet.status is not CloudletStatus.CREATED:
+            cloudlet.reset_for_retry()
+        self.final_assignment[c_idx] = vm_idx
+        cloudlet.vm_id = self.vms[vm_idx].vm_id
+        dc_id = self.vm_placement[vm_idx]
+        delay = self.topology.latency(self.id, dc_id)
+        estimate = self._exec_estimate(c_idx, vm_idx)
+        self.backlog[vm_idx] += estimate
+        self.send(dc_id, delay, EventTag.CLOUDLET_SUBMIT, data=cloudlet)
+        if self.speculation_multiple is not None:
+            # Expected completion = everything queued ahead plus this
+            # cloudlet's own run; the watchdog fires at a multiple of it.
+            horizon = max(float(self.backlog[vm_idx]), estimate)
+            self.schedule_self(
+                delay + self.speculation_multiple * horizon,
+                EventTag.TIMER,
+                data=("speculate", c_idx, int(self.attempts[c_idx])),
+            )
+
+    # -- returns and bounces -----------------------------------------------------
+
+    def _process_return(self, event: Event) -> None:
+        cloudlet: Cloudlet = event.data
+        c_idx = cloudlet.cloudlet_id
+        vm_idx = int(self.final_assignment[c_idx])
+        self.backlog[vm_idx] = max(
+            0.0, self.backlog[vm_idx] - self._exec_estimate(c_idx, vm_idx)
+        )
+        if cloudlet.status is CloudletStatus.FAILED:
+            self._handle_bounce(c_idx)
+            return
+        if c_idx in self._bounce_time:
+            self.recovery_times.append(self.now - self._bounce_time.pop(c_idx))
+        self.finished.append(cloudlet)
+
+    def _handle_bounce(self, c_idx: int) -> None:
+        self._bounce_time.setdefault(c_idx, self.now)
+        self.attempts[c_idx] += 1
+        delay = self.retry_policy.next_delay(int(self.attempts[c_idx]), self.rng)
+        if delay is None:
+            self.dead_letter.append(c_idx)
+            return
+        self.retries += 1
+        due = self.now + delay
+        bucket = self._retry_buckets.setdefault(due, [])
+        bucket.append(c_idx)
+        if len(bucket) == 1:
+            self.schedule_self(delay, EventTag.TIMER, data=("retry", due))
+
+    def _process_retry_batch(self, due: float) -> None:
+        """Re-place every cloudlet whose retry matured at this instant."""
+        indices = self._retry_buckets.pop(due)
+        alive = np.flatnonzero(self._alive)
+        if alive.size == 0:
+            # Nothing to run on right now: dead-letter deterministically
+            # rather than spin (recoveries later cannot resurrect these).
+            self.dead_letter.extend(indices)
+            return
+        t0 = time.perf_counter()
+        sub = self.context.restrict(np.asarray(indices, dtype=np.int64), alive)
+        result = self.scheduler.schedule_checked(sub)
+        self.rescheduling_seconds += time.perf_counter() - t0
+        self.reschedules += 1
+        for local_c, c_idx in enumerate(indices):
+            self._dispatch(c_idx, int(alive[result.assignment[local_c]]))
+
+    def _process_speculation(self, c_idx: int, attempt: int) -> None:
+        """Watchdog: cancel a cloudlet that overstayed its expected runtime."""
+        if attempt != int(self.attempts[c_idx]):
+            return  # the attempt it watched already bounced or was retried
+        cloudlet = self.cloudlets[c_idx]
+        if cloudlet.status is CloudletStatus.SUCCESS or c_idx in self.dead_letter:
+            return
+        vm_idx = int(self.final_assignment[c_idx])
+        self.speculative_cancels += 1
+        self.send_now(
+            self.vm_placement[vm_idx], EventTag.CLOUDLET_CANCEL, data=cloudlet
+        )
+
+
+# -- façade --------------------------------------------------------------------
+
+
+def run_resilient(
+    scenario: ScenarioSpec,
+    scheduler: Scheduler,
+    failures: Sequence[FaultEvent] = (),
+    seed: int | None = 0,
+    *,
+    retry_policy: RetryPolicy | None = None,
+    speculation_multiple: float | None = None,
+    execution_model: ExecutionModel = "space-shared",
+) -> SimulationResult:
+    """Run a batch under a fault plan with scheduler-driven recovery.
+
+    Bounced cloudlets are re-placed by ``scheduler`` itself over the
+    surviving VMs, retries pace themselves per ``retry_policy`` (default:
+    seeded exponential backoff), and cloudlets exceeding ``max_attempts``
+    are dead-lettered (reported in ``info["dead_letter"]``; their
+    finish/exec entries stay at the -1 sentinel and the aggregate metrics
+    are computed over the completed subset).
+
+    With no failures, default policy and no speculation this reproduces
+    :class:`~repro.cloud.simulation.CloudSimulation` output bit-for-bit.
+    """
+    validate_fault_plan(failures, scenario.num_vms)
+
+    context = SchedulingContext.from_scenario(scenario, seed)
+    t0 = time.perf_counter()
+    decision = scheduler.schedule_checked(context)
+    scheduling_time = time.perf_counter() - t0
+
+    env = build_simulation(scenario, execution_model=execution_model)
+    broker = ReschedulingBroker(
+        name="broker",
+        vms=env.vms,
+        cloudlets=env.cloudlets,
+        assignment=decision.assignment,
+        vm_placement=env.vm_placement,
+        scheduler=scheduler,
+        context=context,
+        retry_policy=retry_policy or ExponentialBackoffRetry(),
+        rng=spawn_rng(seed, f"resilience/{scenario.name}"),
+        speculation_multiple=speculation_multiple,
+    )
+    env.sim.register(broker)
+    injector = FaultInjector(
+        name="fault-injector",
+        plan=failures,
+        vm_entity=env.vm_placement,
+        owner_id=broker.id,
+        vm_factory=lambda i: scenario.vms[i].build(
+            vm_id=i, cloudlet_scheduler=make_cloudlet_scheduler(execution_model)
+        ),
+    )
+    env.sim.register(injector)
+
+    env.sim.run()
+    cloudlets = env.cloudlets
+    if not broker.all_finished:
+        raise RuntimeError(
+            f"resilient run drained with {len(broker.finished)} finished + "
+            f"{len(broker.dead_letter)} dead-lettered of {len(cloudlets)} cloudlets"
+        )
+
+    submission = np.array([c.submission_time for c in cloudlets])
+    start = np.array([c.exec_start_time for c in cloudlets])
+    finish = np.array([c.finish_time for c in cloudlets])
+    completed = np.array([c.is_finished for c in cloudlets], dtype=bool)
+    costs = compute_batch_costs(scenario, broker.final_assignment)
+    costs = np.where(completed, costs, 0.0)
+    if completed.any():
+        run_makespan = makespan(start[completed], finish[completed])
+        imbalance = time_imbalance(finish[completed] - start[completed])
+    else:  # every cloudlet dead-lettered (pathological plans)
+        run_makespan = 0.0
+        imbalance = 0.0
+    mttr = float(np.mean(broker.recovery_times)) if broker.recovery_times else 0.0
+    return SimulationResult(
+        scenario_name=scenario.name,
+        scheduler_name=decision.scheduler_name,
+        scheduling_time=scheduling_time,
+        makespan=run_makespan,
+        time_imbalance=imbalance,
+        total_cost=float(costs.sum()),
+        assignment=broker.final_assignment,
+        submission_times=submission,
+        start_times=start,
+        finish_times=finish,
+        exec_times=finish - start,
+        costs=costs,
+        events_processed=env.sim.events_processed,
+        info={
+            "engine": "des+resilience",
+            "execution_model": execution_model,
+            "failures": len(failures),
+            "retries": broker.retries,
+            "reschedules": broker.reschedules,
+            "rescheduling_seconds": broker.rescheduling_seconds,
+            "speculative_cancels": broker.speculative_cancels,
+            "dead_letter": sorted(broker.dead_letter),
+            "completed": int(completed.sum()),
+            "failed_vms": broker.dead_vm_indices,
+            "lost_mi": float(sum(dc.lost_mi for dc in env.datacenters)),
+            "recoveries": int(sum(dc.recoveries for dc in env.datacenters)),
+            "host_failures": int(sum(dc.host_failures for dc in env.datacenters)),
+            "mttr": mttr,
+            **decision.info,
+        },
+    )
+
+
+__all__ = [
+    "RetryPolicy",
+    "ImmediateRetry",
+    "FixedDelayRetry",
+    "ExponentialBackoffRetry",
+    "ReschedulingBroker",
+    "run_resilient",
+]

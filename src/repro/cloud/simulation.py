@@ -220,6 +220,70 @@ def build_hosts_for_datacenter(scenario: ScenarioSpec, dc_idx: int) -> list[Host
     ]
 
 
+def make_cloudlet_scheduler(execution_model: ExecutionModel):
+    """Instantiate the per-VM execution model named by ``execution_model``."""
+    if execution_model == "space-shared":
+        return CloudletSchedulerSpaceShared()
+    if execution_model == "time-shared":
+        return CloudletSchedulerTimeShared()
+    raise ValueError(f"unknown execution model {execution_model!r}")
+
+
+@dataclass
+class SimulationEnvironment:
+    """A fully wired DES instance for one scenario, ready for a broker.
+
+    Produced by :func:`build_simulation` — the single canonical builder
+    shared by the batch, online and fault/resilience façades, so fault runs
+    cannot drift from the plain DES path.
+    """
+
+    sim: Simulation
+    datacenters: list[Datacenter]
+    vms: list[Vm]
+    cloudlets: list[Cloudlet]
+    #: vm index -> owning datacenter entity id.
+    vm_placement: dict[int, int]
+
+
+def build_simulation(
+    scenario: ScenarioSpec,
+    *,
+    execution_model: ExecutionModel = "space-shared",
+    trace: bool = False,
+) -> SimulationEnvironment:
+    """Build kernel + datacenters + VMs + cloudlets for ``scenario``.
+
+    The caller registers its broker (and any fault injector) on the
+    returned :attr:`SimulationEnvironment.sim` and runs it.
+    """
+    sim = Simulation(trace=trace)
+    datacenters: list[Datacenter] = []
+    for dc_idx, dc_spec in enumerate(scenario.datacenters):
+        dc = Datacenter(
+            name=f"dc-{dc_idx}",
+            hosts=build_hosts_for_datacenter(scenario, dc_idx),
+            characteristics=dc_spec.characteristics,
+        )
+        sim.register(dc)
+        datacenters.append(dc)
+    vms = [
+        spec.build(vm_id=i, cloudlet_scheduler=make_cloudlet_scheduler(execution_model))
+        for i, spec in enumerate(scenario.vms)
+    ]
+    cloudlets = [spec.build(cloudlet_id=i) for i, spec in enumerate(scenario.cloudlets)]
+    vm_placement = {
+        i: datacenters[scenario.vm_datacenter[i]].id for i in range(len(vms))
+    }
+    return SimulationEnvironment(
+        sim=sim,
+        datacenters=datacenters,
+        vms=vms,
+        cloudlets=cloudlets,
+        vm_placement=vm_placement,
+    )
+
+
 class CloudSimulation:
     """Run one scheduler on one scenario through the DES engine.
 
@@ -257,11 +321,6 @@ class CloudSimulation:
         self.topology = topology
         self.trace = trace
 
-    def _make_cloudlet_scheduler(self):
-        if self.execution_model == "space-shared":
-            return CloudletSchedulerSpaceShared()
-        return CloudletSchedulerTimeShared()
-
     def run(self) -> SimulationResult:
         """Schedule, simulate, and reduce to metrics."""
         scenario = self.scenario
@@ -271,34 +330,16 @@ class CloudSimulation:
         decision = self.scheduler.schedule_checked(context)
         scheduling_time = time.perf_counter() - t0
 
-        sim = Simulation(trace=self.trace)
-        datacenters: list[Datacenter] = []
-        for dc_idx, dc_spec in enumerate(scenario.datacenters):
-            hosts = build_hosts_for_datacenter(scenario, dc_idx)
-            dc = Datacenter(
-                name=f"dc-{dc_idx}",
-                hosts=hosts,
-                characteristics=dc_spec.characteristics,
-            )
-            sim.register(dc)
-            datacenters.append(dc)
-
-        vms: list[Vm] = [
-            spec.build(vm_id=i, cloudlet_scheduler=self._make_cloudlet_scheduler())
-            for i, spec in enumerate(scenario.vms)
-        ]
-        cloudlets: list[Cloudlet] = [
-            spec.build(cloudlet_id=i) for i, spec in enumerate(scenario.cloudlets)
-        ]
-        vm_placement = {
-            i: datacenters[scenario.vm_datacenter[i]].id for i in range(len(vms))
-        }
+        env = build_simulation(
+            scenario, execution_model=self.execution_model, trace=self.trace
+        )
+        sim, cloudlets = env.sim, env.cloudlets
         broker = DatacenterBroker(
             name="broker",
-            vms=vms,
+            vms=env.vms,
             cloudlets=cloudlets,
             assignment=decision.assignment,
-            vm_placement=vm_placement,
+            vm_placement=env.vm_placement,
             topology=self.topology,
         )
         sim.register(broker)
@@ -367,6 +408,9 @@ def quick_run(
 __all__ = [
     "CloudSimulation",
     "SimulationResult",
+    "SimulationEnvironment",
+    "build_simulation",
+    "make_cloudlet_scheduler",
     "quick_run",
     "compute_batch_costs",
     "build_hosts_for_datacenter",

@@ -28,6 +28,18 @@ class EventTag(enum.IntEnum):
     VM_MIGRATE = 14
     #: Datacenter self-message: a live migration's copy phase finished.
     VM_MIGRATION_COMPLETE = 15
+    #: FaultInjector -> Datacenter: the host running a VM crashes, killing
+    #: every co-located VM (payload: anchor vm index).
+    HOST_FAILURE = 16
+    #: FaultInjector -> Datacenter: a previously failed VM returns to service
+    #: (payload: ``(fresh Vm, owner entity id)``).
+    VM_RECOVER = 17
+    #: FaultInjector -> Datacenter: a VM starts straggling — its effective
+    #: MIPS is scaled down (payload: ``(vm index, factor)``).
+    VM_SLOWDOWN = 18
+    #: FaultInjector -> Datacenter: a straggling VM returns to full speed
+    #: (payload: vm index).
+    VM_SLOWDOWN_END = 19
 
     #: Broker -> Datacenter: submit a cloudlet to a VM (payload: ``Cloudlet``).
     CLOUDLET_SUBMIT = 20
@@ -36,6 +48,12 @@ class EventTag(enum.IntEnum):
     #: Datacenter self-message: recompute cloudlet progress at the next
     #: expected completion instant.
     VM_DATACENTER_EVENT = 22
+    #: Broker -> Datacenter: abort a resident cloudlet (payload: ``Cloudlet``);
+    #: the datacenter bounces it back ``FAILED`` if it was still unfinished.
+    CLOUDLET_CANCEL = 23
+    #: Datacenter -> Broker: fleet state changed (payload: ``FaultNotice``);
+    #: sent before the bounced cloudlets of the same fault.
+    FAULT_NOTICE = 24
 
     #: Entity self-message used to delay an action (payload: callable or data).
     TIMER = 30

@@ -24,6 +24,11 @@ from repro.metrics.definitions import (
     vm_load_counts,
     vm_utilization,
 )
+from repro.metrics.resilience import (
+    RecoveryMetrics,
+    makespan_degradation,
+    recovery_metrics,
+)
 from repro.metrics.sla import (
     SlaReport,
     lateness,
@@ -55,4 +60,7 @@ __all__ = [
     "sla_report",
     "relative_deadlines",
     "jain_fairness_index",
+    "RecoveryMetrics",
+    "recovery_metrics",
+    "makespan_degradation",
 ]

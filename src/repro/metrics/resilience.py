@@ -1,0 +1,92 @@
+"""Recovery metrics: how well a run absorbed injected faults.
+
+These reduce a (baseline run, faulted run) pair — same scenario, same
+scheduler, same seed — to the quantities the chaos harness reports:
+
+* ``makespan_degradation`` — faulted/baseline makespan ratio (1.0 = the
+  faults cost nothing; the headline resilience number);
+* ``mttr`` — mean seconds from a cloudlet's first bounce to its eventual
+  successful finish (computed by the broker, surfaced via ``info``);
+* retries / dead-lettered work / lost MI — how much effort and progress
+  the faults consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # simulation.py imports metrics; keep the cycle type-only
+    from repro.cloud.simulation import SimulationResult
+
+
+def makespan_degradation(baseline_makespan: float, faulted_makespan: float) -> float:
+    """Faulted/baseline makespan ratio; 1.0 means faults cost nothing."""
+    if baseline_makespan <= 0:
+        raise ValueError(f"baseline makespan must be positive, got {baseline_makespan}")
+    return faulted_makespan / baseline_makespan
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryMetrics:
+    """Reduction of one (baseline, faulted) run pair."""
+
+    #: faulted/baseline makespan ratio (1.0 = free recovery).
+    makespan_degradation: float
+    #: fraction of cloudlets that eventually finished.
+    completed_fraction: float
+    #: resubmissions performed during recovery.
+    retries: int
+    #: cloudlets abandoned after exhausting their retry budget.
+    dead_lettered: int
+    #: MI of partial progress destroyed by crashes and cancels.
+    lost_mi: float
+    #: mean seconds from first bounce to successful finish (0 if no bounces).
+    mttr: float
+    #: batch scheduler re-invocations (0 for brokers that never reschedule).
+    reschedules: int
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict for reports/CSV."""
+        return {
+            "makespan_degradation": self.makespan_degradation,
+            "completed_fraction": self.completed_fraction,
+            "retries": float(self.retries),
+            "dead_lettered": float(self.dead_lettered),
+            "lost_mi": self.lost_mi,
+            "mttr": self.mttr,
+            "reschedules": float(self.reschedules),
+        }
+
+
+def recovery_metrics(
+    baseline: SimulationResult, faulted: SimulationResult
+) -> RecoveryMetrics:
+    """Compare a faulted run against its fault-free baseline.
+
+    Both results must come from the same (scenario, scheduler, seed)
+    triple; the faulted run's ``info`` must carry the resilience counters
+    emitted by :func:`repro.cloud.resilience.run_resilient` or
+    :func:`repro.cloud.faults.run_with_failures` (missing counters default
+    to zero so plain runs can be compared too).
+    """
+    if baseline.scenario_name != faulted.scenario_name:
+        raise ValueError(
+            f"scenario mismatch: {baseline.scenario_name!r} vs "
+            f"{faulted.scenario_name!r}"
+        )
+    info = faulted.info
+    dead = info.get("dead_letter", [])
+    completed = info.get("completed", faulted.num_cloudlets)
+    return RecoveryMetrics(
+        makespan_degradation=makespan_degradation(baseline.makespan, faulted.makespan),
+        completed_fraction=completed / faulted.num_cloudlets,
+        retries=int(info.get("retries", 0)),
+        dead_lettered=len(dead),
+        lost_mi=float(info.get("lost_mi", 0.0)),
+        mttr=float(info.get("mttr", 0.0)),
+        reschedules=int(info.get("reschedules", 0)),
+    )
+
+
+__all__ = ["RecoveryMetrics", "recovery_metrics", "makespan_degradation"]

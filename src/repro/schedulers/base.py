@@ -46,6 +46,22 @@ class SchedulingContext:
             scenario_name=scenario.name,
         )
 
+    def restrict(self, cloudlet_indices, vm_indices) -> "SchedulingContext":
+        """Sub-context over a subset of cloudlets and VMs.
+
+        The restricted context shares this context's random generator (so a
+        sequence of restricted calls stays deterministic under one seed) and
+        renumbers both axes: a scheduler run on the result returns *local*
+        VM indices — position ``j`` means global VM ``vm_indices[j]``.  This
+        is how failure-aware rescheduling re-invokes a batch scheduler over
+        only the surviving VMs.
+        """
+        return SchedulingContext(
+            arrays=self.arrays.take(cloudlet_indices, vm_indices),
+            rng=self.rng,
+            scenario_name=f"{self.scenario_name}/sub",
+        )
+
     # -- convenience passthroughs ------------------------------------------------
 
     @property

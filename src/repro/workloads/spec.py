@@ -262,6 +262,36 @@ class ScenarioArrays:
         transfer = np.outer(self.cloudlet_file_size, inv_bw)
         return compute + transfer
 
+    def take(self, cloudlet_indices, vm_indices) -> "ScenarioArrays":
+        """Sub-problem view: the selected cloudlets over the selected VMs.
+
+        Local index ``j`` of the result refers to global index
+        ``vm_indices[j]`` (and likewise for cloudlets) — callers own the
+        mapping back.  Datacenter cost vectors are kept whole because
+        ``vm_datacenter`` still indexes into them.  Used by failure-aware
+        rescheduling to re-run a scheduler over the surviving fleet.
+        """
+        ci = np.asarray(cloudlet_indices, dtype=np.int64)
+        vi = np.asarray(vm_indices, dtype=np.int64)
+        if ci.size == 0 or vi.size == 0:
+            raise ValueError("sub-problem needs at least one cloudlet and one VM")
+        return ScenarioArrays(
+            cloudlet_length=self.cloudlet_length[ci],
+            cloudlet_pes=self.cloudlet_pes[ci],
+            cloudlet_file_size=self.cloudlet_file_size[ci],
+            cloudlet_output_size=self.cloudlet_output_size[ci],
+            vm_mips=self.vm_mips[vi],
+            vm_pes=self.vm_pes[vi],
+            vm_ram=self.vm_ram[vi],
+            vm_bw=self.vm_bw[vi],
+            vm_size=self.vm_size[vi],
+            vm_datacenter=self.vm_datacenter[vi],
+            dc_cost_per_mem=self.dc_cost_per_mem,
+            dc_cost_per_storage=self.dc_cost_per_storage,
+            dc_cost_per_bw=self.dc_cost_per_bw,
+            dc_cost_per_cpu=self.dc_cost_per_cpu,
+        )
+
 
 __all__ = [
     "VmSpec",

@@ -1,0 +1,126 @@
+"""Chaos harness: plan generation and the full recovery-comparison suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.chaos import ChaosConfig, generate_fault_plan, run_chaos_suite
+from repro.cloud.faults import HostFailure, VmFailure, VmSlowdown, validate_fault_plan
+from repro.core.rng import spawn_rng
+from repro.schedulers import GreedyMinCompletionScheduler, RoundRobinScheduler
+from repro.workloads.heterogeneous import heterogeneous_scenario
+
+
+class TestChaosConfig:
+    def test_defaults_valid(self):
+        config = ChaosConfig()
+        assert config.num_anchors == 2
+
+    def test_rejects_bad_windows(self):
+        with pytest.raises(ValueError, match="factor_window"):
+            ChaosConfig(factor_window=(0.5, 1.0))
+        with pytest.raises(ValueError, match="fault_window"):
+            ChaosConfig(fault_window=(0.0, 0.5))
+        with pytest.raises(ValueError, match="recover_fraction"):
+            ChaosConfig(recover_fraction=1.5)
+
+
+class TestGenerateFaultPlan:
+    def _scenario(self):
+        return heterogeneous_scenario(8, 40, seed=0)
+
+    def test_plan_is_valid_and_sized(self):
+        scenario = self._scenario()
+        config = ChaosConfig(
+            num_vm_failures=2, num_host_failures=1, num_stragglers=2
+        )
+        plan = generate_fault_plan(
+            scenario, 100.0, config, spawn_rng(0, "chaos-test")
+        )
+        assert len(plan) == 5
+        validate_fault_plan(plan, scenario.num_vms)
+        assert sum(isinstance(e, VmFailure) for e in plan) == 2
+        assert sum(isinstance(e, HostFailure) for e in plan) == 1
+        assert sum(isinstance(e, VmSlowdown) for e in plan) == 2
+        # Disjoint anchors by construction.
+        anchors = [e.vm_index for e in plan]
+        assert len(set(anchors)) == len(anchors)
+
+    def test_seeded_reproducibility(self):
+        scenario = self._scenario()
+        config = ChaosConfig(num_vm_failures=2, num_stragglers=1)
+        a = generate_fault_plan(scenario, 50.0, config, spawn_rng(3, "c"))
+        b = generate_fault_plan(scenario, 50.0, config, spawn_rng(3, "c"))
+        assert a == b
+
+    def test_recover_fraction_controls_downtimes(self):
+        scenario = self._scenario()
+        config = ChaosConfig(num_vm_failures=4, num_stragglers=0, recover_fraction=0.5)
+        plan = generate_fault_plan(scenario, 80.0, config, spawn_rng(1, "c"))
+        downtimes = [e.downtime is not None for e in plan]
+        assert sum(downtimes) == 2
+
+    def test_whole_fleet_crash_rejected(self):
+        scenario = heterogeneous_scenario(4, 10, seed=0)
+        config = ChaosConfig(num_vm_failures=4, num_stragglers=0)
+        with pytest.raises(ValueError, match="survive"):
+            generate_fault_plan(scenario, 10.0, config, spawn_rng(0, "c"))
+
+    def test_empty_config_gives_empty_plan(self):
+        config = ChaosConfig(num_vm_failures=0, num_stragglers=0)
+        plan = generate_fault_plan(self._scenario(), 10.0, config, spawn_rng(0, "c"))
+        assert plan == []
+
+
+class TestRunChaosSuite:
+    def test_suite_completes_and_compares(self):
+        scenario = heterogeneous_scenario(6, 48, seed=2)
+        schedulers = {
+            "rr": RoundRobinScheduler(),
+            "greedy": GreedyMinCompletionScheduler(),
+        }
+        config = ChaosConfig(num_vm_failures=1, num_stragglers=1, recover_fraction=0.0)
+        report = run_chaos_suite(
+            scenario, schedulers, seeds=(0, 1), config=config
+        )
+        assert len(report.cells) == 4
+        for cell in report.cells:
+            # The seeded crash+straggler plan completes every cloudlet (or
+            # dead-letters deterministically; with 5 surviving VMs nothing
+            # should be abandoned here).
+            assert cell.rescheduling_recovery.completed_fraction == 1.0
+            assert cell.round_robin_recovery.completed_fraction == 1.0
+            assert cell.plan_size == 2
+            # Faults never make the run faster than its own baseline.
+            assert cell.rescheduling_recovery.makespan_degradation >= 0.999
+        degradation = report.mean_degradation("rescheduling")
+        assert set(degradation) == {"rr", "greedy"}
+        rows = report.to_rows()
+        assert len(rows) == 4
+        assert {"scheduler", "seed", "rr_degradation", "resched_degradation"} <= set(rows[0])
+
+    def test_same_seed_same_plan_across_schedulers(self):
+        scenario = heterogeneous_scenario(6, 30, seed=0)
+        report = run_chaos_suite(
+            scenario,
+            {"rr": RoundRobinScheduler(), "greedy": GreedyMinCompletionScheduler()},
+            seeds=(4,),
+            config=ChaosConfig(num_vm_failures=1, num_stragglers=1),
+        )
+        a, b = report.cells
+        assert a.plan_size == b.plan_size
+        # Identical faults injected: both runs report the same failure count.
+        assert a.rescheduling.info["failures"] == b.rescheduling.info["failures"]
+
+    def test_suite_is_reproducible(self):
+        scenario = heterogeneous_scenario(5, 25, seed=1)
+        kwargs = dict(
+            schedulers={"rr": RoundRobinScheduler()},
+            seeds=(0,),
+            config=ChaosConfig(num_vm_failures=1, num_stragglers=0),
+        )
+        r1 = run_chaos_suite(scenario, **kwargs)
+        r2 = run_chaos_suite(scenario, **kwargs)
+        c1, c2 = r1.cells[0], r2.cells[0]
+        assert c1.rescheduling.makespan == c2.rescheduling.makespan
+        assert c1.rescheduling_recovery == c2.rescheduling_recovery

@@ -6,7 +6,14 @@ import numpy as np
 import pytest
 
 from repro.cloud.cloudlet import CloudletStatus
-from repro.cloud.faults import FaultInjector, VmFailure, run_with_failures
+from repro.cloud.faults import (
+    FAULT_DELIVERY_PRIORITY,
+    FaultInjector,
+    HostFailure,
+    VmFailure,
+    VmSlowdown,
+    run_with_failures,
+)
 from repro.cloud.simulation import CloudSimulation
 from repro.schedulers import RoundRobinScheduler
 from repro.workloads.heterogeneous import heterogeneous_scenario
@@ -23,6 +30,19 @@ class TestVmFailureSpec:
     def test_injector_rejects_unknown_vm(self):
         with pytest.raises(ValueError, match="unknown vm"):
             FaultInjector("fi", [VmFailure(5, 1.0)], vm_entity={0: 0})
+
+    def test_injector_requires_factory_for_recoveries(self):
+        with pytest.raises(ValueError, match="vm_factory"):
+            FaultInjector("fi", [VmFailure(0, 1.0, downtime=2.0)], vm_entity={0: 0})
+
+    def test_fault_deliveries_preempt_normal_traffic(self):
+        # The ordering contract rests on this constant: fault deliveries at a
+        # given instant run before normal traffic (0) and wake-ups (+1).
+        assert FAULT_DELIVERY_PRIORITY == -1
+
+    def test_downtime_must_be_positive(self):
+        with pytest.raises(ValueError, match="downtime"):
+            VmFailure(0, 1.0, downtime=0.0)
 
 
 class TestRunWithFailures:
@@ -116,6 +136,38 @@ class TestRunWithFailures:
             scenario, RoundRobinScheduler(), [VmFailure(1, at_time=0.7)], seed=0
         )
         assert (result.exec_times > 0).all()
+
+    def test_recovering_failure_restores_the_vm(self):
+        scenario = homogeneous_scenario(3, 30, seed=0)
+        result = run_with_failures(
+            scenario,
+            RoundRobinScheduler(),
+            [VmFailure(0, at_time=0.5, downtime=1.0)],
+            seed=0,
+        )
+        assert result.info["recoveries"] == 1
+        assert result.info["failed_vms"] == []
+        assert result.info["retries"] > 0
+
+    def test_host_failure_blast_radius(self):
+        scenario = homogeneous_scenario(4, 40, seed=0)
+        result = run_with_failures(
+            scenario, RoundRobinScheduler(), [HostFailure(0, at_time=0.6)], seed=0
+        )
+        assert result.info["host_failures"] == 1
+        assert 0 in result.info["failed_vms"]
+        assert (result.finish_times > 0).all()
+
+    def test_slowdown_needs_no_retries(self):
+        scenario = homogeneous_scenario(4, 40, seed=0)
+        result = run_with_failures(
+            scenario,
+            RoundRobinScheduler(),
+            [VmSlowdown(1, at_time=0.3, duration=4.0, factor=0.5)],
+            seed=0,
+        )
+        assert result.info["retries"] == 0
+        assert result.info["lost_mi"] == 0.0
 
 
 class TestCloudletRetryReset:

@@ -1,0 +1,337 @@
+"""Retry policies, failure-aware rescheduling and recovery properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud.cloudlet import Cloudlet
+from repro.cloud.faults import (
+    HostFailure,
+    ResilientBroker,
+    VmFailure,
+    VmSlowdown,
+    run_with_failures,
+    validate_fault_plan,
+)
+from repro.cloud.resilience import (
+    ExponentialBackoffRetry,
+    FixedDelayRetry,
+    ImmediateRetry,
+    run_resilient,
+)
+from repro.cloud.simulation import CloudSimulation
+from repro.cloud.vm import Vm
+from repro.core.rng import spawn_rng
+from repro.schedulers import GreedyMinCompletionScheduler, RoundRobinScheduler
+from repro.workloads.heterogeneous import heterogeneous_scenario
+from repro.workloads.homogeneous import homogeneous_scenario
+
+
+class TestRetryPolicies:
+    def test_immediate_is_zero_delay(self):
+        policy = ImmediateRetry(max_attempts=3)
+        rng = spawn_rng(0, "t")
+        assert policy.next_delay(2, rng) == 0.0
+        assert policy.next_delay(3, rng) == 0.0
+        assert policy.next_delay(4, rng) is None
+
+    def test_fixed_delay(self):
+        policy = FixedDelayRetry(delay=2.5, max_attempts=4)
+        rng = spawn_rng(0, "t")
+        assert policy.next_delay(2, rng) == 2.5
+        assert policy.next_delay(5, rng) is None
+
+    def test_exponential_growth_and_cap(self):
+        policy = ExponentialBackoffRetry(
+            base_delay=1.0, factor=2.0, max_delay=5.0, jitter=0.0, max_attempts=10
+        )
+        rng = spawn_rng(0, "t")
+        delays = [policy.next_delay(a, rng) for a in range(2, 7)]
+        assert delays == [1.0, 2.0, 4.0, 5.0, 5.0]
+
+    def test_jitter_is_bounded_and_seeded(self):
+        policy = ExponentialBackoffRetry(base_delay=1.0, jitter=0.2, max_attempts=9)
+        a = [policy.next_delay(2, spawn_rng(7, "t")) for _ in range(3)]
+        assert a[0] == a[1] == a[2]  # same seed, same jitter
+        for _ in range(50):
+            d = policy.next_delay(2, spawn_rng(7, "t2"))
+            assert 0.8 <= d <= 1.2
+
+    def test_first_attempt_is_not_a_retry(self):
+        with pytest.raises(ValueError, match="attempt 2"):
+            ImmediateRetry().next_delay(1, spawn_rng(0, "t"))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ImmediateRetry(max_attempts=0)
+        with pytest.raises(ValueError):
+            FixedDelayRetry(delay=-1.0)
+        with pytest.raises(ValueError):
+            ExponentialBackoffRetry(jitter=1.5)
+        with pytest.raises(ValueError):
+            ExponentialBackoffRetry(factor=0.5)
+
+
+class TestRetryCursorStability:
+    """Satellite fix: the rotation cursor walks VM indices, so the sequence
+    does not jump when the alive set shrinks mid-rotation."""
+
+    def _broker(self, num_vms=4):
+        return ResilientBroker(
+            "b",
+            vms=[Vm(vm_id=i, mips=1000.0) for i in range(num_vms)],
+            cloudlets=[],
+            assignment=[],
+            vm_placement={i: 1 for i in range(num_vms)},
+        )
+
+    def test_round_robin_skips_dead(self):
+        broker = self._broker()
+        broker.mark_failed_vm(1)
+        picks = [broker.choose_retry_vm(None) for _ in range(6)]
+        assert picks == [0, 2, 3, 0, 2, 3]
+
+    def test_sequence_stable_under_mid_rotation_failure(self):
+        broker = self._broker()
+        broker.mark_failed_vm(1)
+        assert [broker.choose_retry_vm(None) for _ in range(2)] == [0, 2]
+        broker.mark_failed_vm(0)
+        # The cursor keeps walking indices: 3, then wraps past dead 0/1 to 2.
+        assert [broker.choose_retry_vm(None) for _ in range(2)] == [3, 2]
+
+    def test_recovery_rejoins_rotation(self):
+        broker = self._broker()
+        broker.mark_failed_vm(2)
+        assert [broker.choose_retry_vm(None) for _ in range(3)] == [0, 1, 3]
+        broker.mark_recovered_vm(2)
+        assert [broker.choose_retry_vm(None) for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_all_dead_raises(self):
+        broker = self._broker(2)
+        broker.mark_failed_vm(0)
+        broker.mark_failed_vm(1)
+        with pytest.raises(RuntimeError, match="every VM has failed"):
+            broker.choose_retry_vm(None)
+
+
+class TestZeroFaultReproduction:
+    """Property: an empty fault plan reproduces the plain DES run bit-for-bit."""
+
+    @pytest.mark.parametrize("make_scheduler", [RoundRobinScheduler, GreedyMinCompletionScheduler])
+    def test_bit_for_bit(self, make_scheduler):
+        scenario = heterogeneous_scenario(8, 80, seed=4)
+        plain = CloudSimulation(scenario, make_scheduler(), seed=4).run()
+        resilient = run_resilient(scenario, make_scheduler(), [], seed=4)
+        np.testing.assert_array_equal(resilient.assignment, plain.assignment)
+        np.testing.assert_array_equal(resilient.submission_times, plain.submission_times)
+        np.testing.assert_array_equal(resilient.start_times, plain.start_times)
+        np.testing.assert_array_equal(resilient.finish_times, plain.finish_times)
+        np.testing.assert_array_equal(resilient.costs, plain.costs)
+        assert resilient.makespan == plain.makespan
+        assert resilient.time_imbalance == plain.time_imbalance
+        assert resilient.total_cost == plain.total_cost
+        assert resilient.events_processed == plain.events_processed
+        assert resilient.info["retries"] == 0
+        assert resilient.info["dead_letter"] == []
+
+
+class TestMiConservation:
+    """Property: retries carry no partial progress — every completed cloudlet
+    executed its full length on its final VM, and lost progress is accounted."""
+
+    def test_full_length_on_final_vm(self):
+        scenario = homogeneous_scenario(4, 40, seed=0)
+        result = run_resilient(
+            scenario,
+            RoundRobinScheduler(),
+            [VmFailure(1, at_time=0.7)],
+            seed=0,
+            retry_policy=ImmediateRetry(max_attempts=5),
+        )
+        arr = scenario.arrays()
+        assert result.info["dead_letter"] == []
+        expected = arr.cloudlet_length / arr.vm_mips[result.assignment]
+        np.testing.assert_allclose(result.exec_times, expected, rtol=1e-9)
+        assert result.info["lost_mi"] > 0
+        assert result.info["lost_mi"] <= arr.cloudlet_length.sum()
+
+    def test_completed_plus_dead_lettered_covers_batch(self):
+        scenario = homogeneous_scenario(3, 30, seed=1)
+        result = run_resilient(
+            scenario,
+            RoundRobinScheduler(),
+            [VmFailure(0, at_time=0.5), VmFailure(1, at_time=0.9)],
+            seed=1,
+            retry_policy=ImmediateRetry(max_attempts=2),
+        )
+        dead = set(result.info["dead_letter"])
+        completed = {i for i in range(30) if result.finish_times[i] > 0}
+        assert dead.isdisjoint(completed)
+        assert dead | completed == set(range(30))
+        # Dead-lettered cloudlets keep their -1 sentinels.
+        for i in dead:
+            assert result.finish_times[i] == -1.0
+
+
+class TestNoDeadVmPlacement:
+    """Property: no cloudlet finishes on a VM after that VM permanently died."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_permanent_failures(self, seed):
+        scenario = heterogeneous_scenario(6, 60, seed=seed)
+        fails = {0: 2.0, 3: 4.0}
+        plan = [VmFailure(k, at_time=t) for k, t in fails.items()]
+        result = run_resilient(
+            scenario, GreedyMinCompletionScheduler(), plan, seed=seed,
+            retry_policy=ImmediateRetry(max_attempts=8),
+        )
+        assert result.info["dead_letter"] == []
+        for vm_index, at_time in fails.items():
+            on_dead = result.assignment == vm_index
+            # Anything placed there must have finished by the crash instant.
+            assert (result.finish_times[on_dead] <= at_time + 1e-9).all()
+        assert sorted(result.info["failed_vms"]) == sorted(fails)
+
+
+class TestRecoveryAndStragglers:
+    def test_vm_recovery_restores_capacity(self):
+        scenario = homogeneous_scenario(2, 24, seed=0)
+        plan = [VmFailure(0, at_time=1.0, downtime=2.0)]
+        result = run_resilient(
+            scenario, RoundRobinScheduler(), plan, seed=0,
+            retry_policy=FixedDelayRetry(delay=2.5, max_attempts=5),
+        )
+        assert result.info["dead_letter"] == []
+        assert result.info["recoveries"] == 1
+        assert result.info["failed_vms"] == []  # alive again at the end
+        # Work placed after the recovery instant runs on VM 0 again.
+        late_on_0 = (result.assignment == 0) & (result.start_times > 3.0)
+        assert late_on_0.any()
+
+    def test_straggler_retiming_is_exact(self):
+        # 1 VM at 10 MIPS, one 100 MI cloudlet: finishes at t=10 clean.
+        # Halving speed over [5, 15) leaves 50 MI at t=5 run at 5 MIPS -> 15.
+        from repro.workloads.spec import (
+            CloudletSpec,
+            DatacenterSpec,
+            ScenarioSpec,
+            VmSpec,
+        )
+
+        scenario = ScenarioSpec(
+            name="straggler-unit",
+            datacenters=(DatacenterSpec(),),
+            vms=(VmSpec(mips=10.0),),
+            cloudlets=(CloudletSpec(length=100.0),),
+            vm_datacenter=(0,),
+        )
+        plan = [VmSlowdown(0, at_time=5.0, duration=10.0, factor=0.5)]
+        result = run_with_failures(scenario, RoundRobinScheduler(), plan, seed=0)
+        assert result.finish_times[0] == pytest.approx(15.0)
+
+    def test_straggler_slows_but_loses_nothing(self):
+        scenario = homogeneous_scenario(4, 40, seed=0)
+        clean = CloudSimulation(scenario, RoundRobinScheduler(), seed=0).run()
+        plan = [VmSlowdown(2, at_time=0.2, duration=5.0, factor=0.25)]
+        slowed = run_resilient(scenario, RoundRobinScheduler(), plan, seed=0)
+        assert slowed.makespan > clean.makespan
+        assert slowed.info["retries"] == 0
+        assert slowed.info["lost_mi"] == 0.0
+
+    def test_host_failure_kills_colocated_vms(self):
+        scenario = homogeneous_scenario(4, 40, seed=0)
+        result = run_resilient(
+            scenario, RoundRobinScheduler(), [HostFailure(0, at_time=0.6)],
+            seed=0, retry_policy=ImmediateRetry(max_attempts=6),
+        )
+        assert result.info["host_failures"] == 1
+        assert 0 in result.info["failed_vms"]
+        assert result.info["dead_letter"] == []
+        assert result.info["retries"] > 0
+
+
+class TestSpeculation:
+    def test_straggler_victim_is_cancelled_and_reruns_elsewhere(self):
+        scenario = homogeneous_scenario(4, 24, seed=0)
+        # VM 1 runs at 1% speed for a very long window: its cloudlets blow
+        # straight through the 3x-expected watchdog and get re-placed.
+        plan = [VmSlowdown(1, at_time=0.05, duration=1e4, factor=0.01)]
+        result = run_resilient(
+            scenario, RoundRobinScheduler(), plan, seed=0,
+            retry_policy=ImmediateRetry(max_attempts=10),
+            speculation_multiple=3.0,
+        )
+        assert result.info["speculative_cancels"] > 0
+        assert result.info["dead_letter"] == []
+        clean = CloudSimulation(scenario, RoundRobinScheduler(), seed=0).run()
+        # Without speculation the batch is hostage to the straggler.
+        hostage = run_resilient(scenario, RoundRobinScheduler(), plan, seed=0)
+        assert result.makespan < hostage.makespan
+        assert result.makespan < 10 * clean.makespan
+
+    def test_speculation_multiple_must_exceed_one(self):
+        scenario = homogeneous_scenario(2, 4, seed=0)
+        with pytest.raises(ValueError, match="speculation_multiple"):
+            run_resilient(
+                scenario, RoundRobinScheduler(), [], seed=0,
+                speculation_multiple=0.5,
+            )
+
+
+class TestPlanValidation:
+    def test_duplicate_permanent_failure_rejected(self):
+        plan = [VmFailure(0, 1.0), VmFailure(0, 5.0)]
+        with pytest.raises(ValueError, match="never recovers"):
+            validate_fault_plan(plan, 4)
+
+    def test_refailure_before_recovery_rejected(self):
+        plan = [VmFailure(0, 1.0, downtime=10.0), VmFailure(0, 5.0)]
+        with pytest.raises(ValueError, match="before recovering"):
+            validate_fault_plan(plan, 4)
+
+    def test_refailure_after_recovery_allowed(self):
+        plan = [VmFailure(0, 1.0, downtime=2.0), VmFailure(0, 5.0)]
+        assert validate_fault_plan(plan, 4) == plan
+
+    def test_same_instant_same_vm_rejected(self):
+        plan = [VmFailure(0, 3.0), VmSlowdown(0, 3.0, duration=1.0, factor=0.5)]
+        with pytest.raises(ValueError, match="identical instant"):
+            validate_fault_plan(plan, 4)
+
+    def test_host_failure_counts_as_failure_of_anchor(self):
+        plan = [HostFailure(1, 2.0), VmFailure(1, 9.0)]
+        with pytest.raises(ValueError, match="never recovers"):
+            validate_fault_plan(plan, 4)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            validate_fault_plan([VmFailure(9, 1.0)], 4)
+
+    def test_slowdown_factor_bounds(self):
+        with pytest.raises(ValueError, match="factor"):
+            VmSlowdown(0, 1.0, duration=1.0, factor=1.5)
+        with pytest.raises(ValueError, match="factor"):
+            VmSlowdown(0, 1.0, duration=1.0, factor=0.0)
+
+    def test_same_instant_different_vms_allowed(self):
+        plan = [VmFailure(0, 3.0), VmFailure(1, 3.0)]
+        assert validate_fault_plan(plan, 4) == plan
+
+
+class TestReschedulingBeatsBlindRecovery:
+    def test_heterogeneous_degradation(self):
+        """Acceptance: scheduler-driven recovery beats blind round-robin on
+        makespan degradation in a heterogeneous scenario."""
+        scenario = heterogeneous_scenario(10, 120, seed=5)
+        scheduler = GreedyMinCompletionScheduler()
+        baseline = CloudSimulation(scenario, scheduler, seed=5).run()
+        plan = [VmFailure(0, at_time=2.0), VmFailure(4, at_time=3.0)]
+        blind = run_with_failures(scenario, scheduler, plan, seed=5)
+        smart = run_resilient(
+            scenario, scheduler, plan, seed=5,
+            retry_policy=ImmediateRetry(max_attempts=8),
+        )
+        assert smart.info["dead_letter"] == []
+        assert smart.makespan / baseline.makespan < blind.makespan / baseline.makespan
+        assert smart.info["reschedules"] >= 1
