@@ -1,13 +1,16 @@
 """Substrate benchmarks — DES kernel throughput and fast-path speedup.
 
 Not a paper figure: these quantify the simulator substrate itself (events
-per second through the kernel, event-queue operations, and how much the
-analytic fast path buys on the homogeneous scenario), guarding against
-performance regressions in the engine the whole study stands on.
+per second through the kernel, event-queue operations, how much the
+analytic fast path buys on the homogeneous scenario, the optimizer
+kernel's delta-evaluation against full recomputes, and the parallel sweep
+runner), guarding against performance regressions in the engine the whole
+study stands on.
 """
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.cloud.fast import FastSimulation
@@ -16,6 +19,10 @@ from repro.core.engine import Simulation
 from repro.core.entity import Entity
 from repro.core.eventqueue import EventQueue
 from repro.core.tags import EventTag
+from repro.experiments.figures import ScenarioFamily
+from repro.experiments.runner import run_sweep
+from repro.experiments.scenarios import SchedulerFactory
+from repro.optim import FitnessKernel, IncrementalLoads
 from repro.schedulers import RoundRobinScheduler
 from repro.workloads.heterogeneous import heterogeneous_scenario
 
@@ -73,3 +80,72 @@ def test_pipeline_engine_comparison(benchmark, engine):
     benchmark.extra_info["engine"] = engine
     benchmark.extra_info["events"] = result.events_processed
     assert result.makespan > 0
+
+
+@pytest.mark.parametrize("mode", ["full_recompute", "delta"])
+def test_kernel_move_evaluation(benchmark, mode):
+    """O(n) full makespan recompute vs O(1) amortised delta evaluation."""
+    arrays = heterogeneous_scenario(50, 2000, seed=0).arrays()
+    kernel = FitnessKernel(arrays)
+    rng = np.random.default_rng(1)
+    moves_i = rng.integers(0, arrays.num_cloudlets, size=2000)
+    moves_j = rng.integers(0, arrays.num_vms, size=2000)
+
+    def run_full():
+        assignment = np.arange(arrays.num_cloudlets, dtype=np.int64) % arrays.num_vms
+        best = kernel.makespan(assignment)
+        for i, j in zip(moves_i, moves_j):
+            old = assignment[i]
+            assignment[i] = j
+            candidate = kernel.makespan(assignment)
+            if candidate < best:
+                best = candidate
+            else:
+                assignment[i] = old
+        return best
+
+    def run_delta():
+        state = IncrementalLoads(
+            kernel, np.arange(arrays.num_cloudlets, dtype=np.int64) % arrays.num_vms
+        )
+        for i, j in zip(moves_i, moves_j):
+            candidate = state.propose(int(i), int(j))
+            if candidate is None:
+                continue
+            if candidate < state.makespan:
+                state.commit()
+            else:
+                state.reject()
+        return state.makespan
+
+    best = benchmark.pedantic(
+        run_full if mode == "full_recompute" else run_delta, rounds=3, iterations=1
+    )
+    benchmark.extra_info["mode"] = mode
+    assert best > 0
+
+
+@pytest.mark.parametrize("workers", [0, 2])
+def test_sweep_runner_scaling(benchmark, workers):
+    """Serial vs process-pool sweep over one small heterogeneous grid.
+
+    On multi-core runners workers=2 should approach 2x; the records are
+    bit-identical either way (pinned by tests/experiments/test_runner.py).
+    """
+    kwargs = dict(
+        scenario_factory=ScenarioFamily("heterogeneous"),
+        scheduler_factories={
+            "basetest": SchedulerFactory("basetest"),
+            "antcolony": SchedulerFactory(
+                "antcolony", (("max_iterations", 2), ("num_ants", 8))
+            ),
+        },
+        vm_counts=(10, 20, 30, 40),
+        num_cloudlets=150,
+        seeds=(0,),
+        engine="des",
+        workers=workers or None,
+    )
+    records = benchmark.pedantic(lambda: run_sweep(**kwargs), rounds=1, iterations=1)
+    benchmark.extra_info["workers"] = workers
+    assert len(records) == 8

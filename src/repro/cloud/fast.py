@@ -110,8 +110,11 @@ class FastSimulation:
         from repro.cloud.simulation import SimulationResult, compute_batch_costs
 
         scenario = self.scenario
-        arr = scenario.arrays()
         context = SchedulingContext.from_scenario(scenario, self.seed)
+        # Reuse the context's ScenarioArrays instead of materialising a
+        # second copy — at the paper's 10^6-cloudlet scale the columns are
+        # the dominant allocation.
+        arr = context.arrays
 
         t0 = time.perf_counter()
         decision = self.scheduler.schedule_checked(context)

@@ -62,6 +62,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for CSV output (default: results/)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the sweep grid (default: serial); "
+            "records are bit-identical to a serial run"
+        ),
+    )
+    parser.add_argument(
         "--logy", action="store_true", help="plot the y axis on a log scale"
     )
     parser.add_argument(
@@ -130,9 +139,13 @@ def main(argv: list[str] | None = None) -> int:
     for target in targets:
         t0 = time.perf_counter()
         if target in EXTENSION_EXPERIMENTS:
+            if args.workers and args.workers > 1:
+                print(f"note: {target} is an extension experiment; running serially")
             data = EXTENSION_EXPERIMENTS[target](args.preset)
         else:
-            data = run_experiment(target, preset=args.preset, progress=progress)
+            data = run_experiment(
+                target, preset=args.preset, progress=progress, workers=args.workers
+            )
         elapsed = time.perf_counter() - t0
         # Scheduling-time figures span decades; log scale reads better.
         logy = args.logy or target.startswith("fig5") or target == "fig6b"

@@ -92,6 +92,24 @@ class FigureData:
 
 
 @dataclass(frozen=True)
+class ScenarioFamily:
+    """Picklable (num_vms, num_cloudlets, seed) -> scenario factory.
+
+    Parallel sweeps pickle the factory into spawn-based workers, so it is
+    a dataclass keyed by the family name rather than a lambda.
+    """
+
+    kind: str  # "homogeneous" | "heterogeneous"
+
+    def __call__(self, num_vms: int, num_cloudlets: int, seed: int):
+        if self.kind == "homogeneous":
+            return homogeneous_scenario(num_vms, num_cloudlets, seed=seed)
+        if self.kind == "heterogeneous":
+            return heterogeneous_scenario(num_vms, num_cloudlets, seed=seed)
+        raise ValueError(f"unknown scenario kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
 class ExperimentDefinition:
     """A reproducible experiment: scenario family + sweep + metric."""
 
@@ -105,12 +123,10 @@ class ExperimentDefinition:
     #: paper's qualitative expectation, documented in EXPERIMENTS.md.
     expectation: str = ""
 
-    def scenario_factory(self) -> Callable[[int, int, int], object]:
-        if self.scenario_kind == "homogeneous":
-            return lambda v, c, s: homogeneous_scenario(v, c, seed=s)
-        if self.scenario_kind == "heterogeneous":
-            return lambda v, c, s: heterogeneous_scenario(v, c, seed=s)
-        raise ValueError(f"unknown scenario kind {self.scenario_kind!r}")
+    def scenario_factory(self) -> ScenarioFamily:
+        if self.scenario_kind not in ("homogeneous", "heterogeneous"):
+            raise ValueError(f"unknown scenario kind {self.scenario_kind!r}")
+        return ScenarioFamily(self.scenario_kind)
 
     def config(self, preset: Preset | str) -> SweepConfig:
         return preset_config(self.experiment_id, preset)
@@ -262,8 +278,14 @@ def run_experiment(
     experiment_id: str,
     preset: Preset | str = Preset.QUICK,
     progress: Callable[[str], None] | None = None,
+    workers: int | None = None,
 ) -> FigureData:
-    """Execute one paper figure's sweep and aggregate it."""
+    """Execute one paper figure's sweep and aggregate it.
+
+    ``workers`` is forwarded to :func:`repro.experiments.runner.run_sweep`:
+    ``None``/0/1 runs serially, ``N >= 2`` fans the sweep cells out over
+    ``N`` worker processes with bit-identical records.
+    """
     definition = get_experiment(experiment_id)
     config = definition.config(preset)
     records = run_sweep(
@@ -274,6 +296,7 @@ def run_experiment(
         seeds=config.seeds,
         engine=definition.engine,
         progress=progress,
+        workers=workers,
     )
     return aggregate(definition, records, list(config.vm_counts))
 
@@ -281,6 +304,7 @@ def run_experiment(
 __all__ = [
     "FigureData",
     "ExperimentDefinition",
+    "ScenarioFamily",
     "EXPERIMENTS",
     "get_experiment",
     "aggregate",

@@ -5,10 +5,21 @@ and seeds, returning flat :class:`SweepRecord` rows that the figure layer
 aggregates.  The engine is selectable: the DES kernel (default, used for
 the heterogeneous experiments) or the analytic fast path (used for the
 paper's very large homogeneous sweeps).
+
+Sweeps parallelise over (num_vms, seed) *cells*: every cell builds its
+scenario from ``scenario_factory(num_vms, num_cloudlets, seed)`` and seeds
+each simulation with the cell's own sweep seed, so a cell's records depend
+only on its arguments — never on execution order.  ``workers=N`` therefore
+returns rows bit-identical to the serial path (modulo the wall-clock
+``scheduling_time`` field).  Worker processes use the ``spawn`` start
+method, which requires the factories to be picklable — module-level
+functions or dataclass instances, not lambdas or closures.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
+import multiprocessing
 from dataclasses import dataclass
 from typing import Callable, Iterable, Literal
 
@@ -74,6 +85,34 @@ def run_point(
     raise ValueError(f"unknown engine {engine!r}")
 
 
+def _run_cell(
+    scenario_factory: ScenarioFactory,
+    scheduler_factories: dict[str, Callable[[], Scheduler]],
+    num_vms: int,
+    num_cloudlets: int,
+    seed: int,
+    engine: Engine,
+) -> list[SweepRecord]:
+    """Execute one (num_vms, seed) cell: all schedulers on a shared scenario.
+
+    Module-level so it can be shipped to spawn-based worker processes.  The
+    scenario is built once per cell (exactly as the serial loop does), so
+    every scheduler at the cell competes on identical inputs and the cell's
+    records are a pure function of the arguments.
+    """
+    scenario = scenario_factory(num_vms, num_cloudlets, seed)
+    records: list[SweepRecord] = []
+    for name, factory in scheduler_factories.items():
+        result = run_point(scenario, factory(), seed=seed, engine=engine)
+        record = SweepRecord.from_result(result, num_vms, num_cloudlets, seed)
+        if record.scheduler != name:
+            raise RuntimeError(
+                f"factory {name!r} produced scheduler {record.scheduler!r}"
+            )
+        records.append(record)
+    return records
+
+
 def run_sweep(
     scenario_factory: ScenarioFactory,
     scheduler_factories: dict[str, Callable[[], Scheduler]],
@@ -82,6 +121,7 @@ def run_sweep(
     seeds: Iterable[int] = (0,),
     engine: Engine = "des",
     progress: Callable[[str], None] | None = None,
+    workers: int | None = None,
 ) -> list[SweepRecord]:
     """Run the full (scheduler × vm_count × seed) grid.
 
@@ -95,26 +135,70 @@ def run_sweep(
         Name → zero-arg constructor; a fresh scheduler per cell keeps
         stateful policies honest.
     progress:
-        Optional callback receiving a human-readable line per cell.
+        Optional callback receiving a human-readable line per cell.  Always
+        invoked in the calling process, in deterministic grid order.
+    workers:
+        ``None``, 0 or 1 runs the grid serially in-process.  ``N >= 2``
+        fans the (num_vms, seed) cells out over ``N`` spawn-based worker
+        processes; both factories must then be picklable (module-level
+        callables or dataclass instances — not lambdas).  Records come
+        back in the same grid order as the serial path and are
+        bit-identical to it except for the wall-clock ``scheduling_time``.
+
+    Determinism contract: each cell derives every random stream from its
+    own ``seed`` argument (scenario synthesis and the per-simulation
+    scheduler RNG alike), so cells are independent and the worker count
+    can never change a result — only how fast it arrives.
     """
+    cells = [(num_vms, seed) for num_vms in vm_counts for seed in seeds]
     records: list[SweepRecord] = []
-    for num_vms in vm_counts:
-        for seed in seeds:
-            scenario = scenario_factory(num_vms, num_cloudlets, seed)
-            for name, factory in scheduler_factories.items():
-                result = run_point(scenario, factory(), seed=seed, engine=engine)
-                record = SweepRecord.from_result(result, num_vms, num_cloudlets, seed)
-                if record.scheduler != name:
-                    raise RuntimeError(
-                        f"factory {name!r} produced scheduler {record.scheduler!r}"
-                    )
-                records.append(record)
-                if progress is not None:
-                    progress(
-                        f"{name:12s} vms={num_vms:<7d} seed={seed} "
-                        f"makespan={record.makespan:10.2f} "
-                        f"sched={record.scheduling_time * 1e3:9.2f}ms"
-                    )
+
+    def emit(cell_records: list[SweepRecord]) -> None:
+        records.extend(cell_records)
+        if progress is not None:
+            for record in cell_records:
+                progress(
+                    f"{record.scheduler:12s} vms={record.num_vms:<7d} "
+                    f"seed={record.seed} "
+                    f"makespan={record.makespan:10.2f} "
+                    f"sched={record.scheduling_time * 1e3:9.2f}ms"
+                )
+
+    if workers is None or workers <= 1:
+        for num_vms, seed in cells:
+            emit(
+                _run_cell(
+                    scenario_factory,
+                    scheduler_factories,
+                    num_vms,
+                    num_cloudlets,
+                    seed,
+                    engine,
+                )
+            )
+        return records
+
+    # Spawn (not fork) so worker state is a clean import of the code under
+    # test on every platform; results are consumed in submission order to
+    # keep the output indistinguishable from the serial path.
+    ctx = multiprocessing.get_context("spawn")
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers, mp_context=ctx
+    ) as pool:
+        futures = [
+            pool.submit(
+                _run_cell,
+                scenario_factory,
+                scheduler_factories,
+                num_vms,
+                num_cloudlets,
+                seed,
+                engine,
+            )
+            for num_vms, seed in cells
+        ]
+        for future in futures:
+            emit(future.result())
     return records
 
 

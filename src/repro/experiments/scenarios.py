@@ -38,6 +38,22 @@ class Preset(str, enum.Enum):
 
 
 @dataclass(frozen=True)
+class SchedulerFactory:
+    """Picklable zero-arg scheduler constructor.
+
+    Sweeps parallelise by shipping the factories to spawn-based worker
+    processes, so they must survive pickling — a plain dataclass holding
+    the registry name and kwargs does, where the old closure would not.
+    """
+
+    scheduler_name: str
+    kwargs: tuple[tuple[str, object], ...] = ()
+
+    def __call__(self) -> Scheduler:
+        return make_scheduler(self.scheduler_name, **dict(self.kwargs))
+
+
+@dataclass(frozen=True)
 class SweepConfig:
     """Sizes and repetitions for one figure sweep."""
 
@@ -50,7 +66,9 @@ class SweepConfig:
     def make_schedulers(self, names: tuple[str, ...]) -> dict[str, Callable[[], Scheduler]]:
         """Factories for the requested schedulers with preset overrides."""
         return {
-            name: (lambda name=name: make_scheduler(name, **self.scheduler_kwargs.get(name, {})))
+            name: SchedulerFactory(
+                name, tuple(sorted(self.scheduler_kwargs.get(name, {}).items()))
+            )
             for name in names
         }
 
@@ -142,4 +160,4 @@ def preset_config(figure: str, preset: Preset | str) -> SweepConfig:
     raise ValueError(f"unknown figure id {figure!r}")
 
 
-__all__ = ["Preset", "SweepConfig", "preset_config"]
+__all__ = ["Preset", "SchedulerFactory", "SweepConfig", "preset_config"]

@@ -1,0 +1,42 @@
+"""Unified iterative-optimizer subsystem.
+
+The metaheuristic schedulers (ACO, PSO, GA, annealing, and the hybrid's
+delegates) are one algorithm family differing only in their move/variation
+operator.  This package factors out the two pieces they used to hand-roll
+five times over:
+
+* :mod:`repro.optim.kernel` — :class:`FitnessKernel`, the shared fitness
+  substrate: memory-capped execution-time matrix (or per-row fallback),
+  per-VM load accumulators, O(1)-amortised *incremental* makespan /
+  imbalance delta-evaluation for single-assignment moves
+  (:class:`IncrementalLoads`), and vectorised batch evaluation for whole
+  populations.
+* :mod:`repro.optim.loop` — :class:`IterativeOptimizer`, the shared
+  iteration driver: pluggable :class:`MoveOperator`, evaluation budget,
+  early-stop / stagnation policies, and a :class:`ConvergenceTrace`
+  (best-so-far fitness, evaluations, wall-clock) surfaced through
+  ``SchedulingResult.info["convergence"]``.
+
+The execution layer — the process-pool sweep runner that fans the
+(scheduler × vm_count × seed) grid across workers — lives in
+:mod:`repro.experiments.runner`.
+"""
+
+from repro.optim.kernel import FitnessKernel, IncrementalLoads
+from repro.optim.loop import (
+    Candidate,
+    ConvergenceTrace,
+    IterativeOptimizer,
+    MoveOperator,
+    OptimizationOutcome,
+)
+
+__all__ = [
+    "FitnessKernel",
+    "IncrementalLoads",
+    "Candidate",
+    "ConvergenceTrace",
+    "IterativeOptimizer",
+    "MoveOperator",
+    "OptimizationOutcome",
+]

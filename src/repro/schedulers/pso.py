@@ -9,18 +9,107 @@ best, jumps to the global best, or re-randomises (exploration), with
 probabilities derived from the inertia/cognitive/social coefficients.
 
 Fitness combines the two objectives the cited PSO works optimise — expected
-makespan and monetary cost — through ``cost_weight``.
+makespan and monetary cost — through ``cost_weight``.  The makespan term is
+evaluated for the whole swarm at once by
+:meth:`repro.optim.FitnessKernel.batch_makespans`; the iteration loop,
+global-best bookkeeping and convergence trace come from
+:class:`repro.optim.IterativeOptimizer`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.optim import Candidate, FitnessKernel, IterativeOptimizer, MoveOperator
 from repro.schedulers.base import (
     Scheduler,
     SchedulingContext,
     SchedulingResult,
 )
+
+
+class _PsoOperator(MoveOperator):
+    """Probabilistic position update over the whole swarm per step."""
+
+    def __init__(self, cfg: "ParticleSwarmScheduler", context: SchedulingContext) -> None:
+        self.cfg = cfg
+        self.context = context
+
+    # -- fitness -----------------------------------------------------------------
+
+    def _fitness(self, positions: np.ndarray) -> np.ndarray:
+        """Vectorised fitness of a (particles, n) position block (lower = better)."""
+        cfg = self.cfg
+        arr = self.context.arrays
+        makespan = self.kernel.batch_makespans(positions)
+        if cfg.cost_weight == 0:
+            return makespan
+        p, n = positions.shape
+        dc = arr.vm_datacenter[positions]  # (p, n)
+        exec_secs = np.broadcast_to(arr.cloudlet_length, (p, n)) / (
+            arr.vm_mips[positions] * arr.vm_pes[positions]
+        )
+        cost = (
+            arr.dc_cost_per_cpu[dc] * exec_secs
+            + arr.dc_cost_per_mem[dc] * arr.vm_ram[positions]
+            + arr.dc_cost_per_storage[dc] * arr.vm_size[positions]
+            + arr.dc_cost_per_bw[dc]
+            * (arr.cloudlet_file_size + arr.cloudlet_output_size)
+        ).sum(axis=1)
+        # Normalise each objective by its swarm mean so the weight is scale-free.
+        mk = makespan / max(makespan.mean(), 1e-12)
+        co = cost / max(cost.mean(), 1e-12)
+        return mk + cfg.cost_weight * co
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def initialize(self, rng: np.random.Generator) -> Candidate:
+        cfg = self.cfg
+        n, m = self.context.num_cloudlets, self.context.num_vms
+        p = cfg.num_particles
+        # Batch evaluation only — no per-pair matrix needed.
+        self.kernel = FitnessKernel(
+            self.context.arrays, time_model="compute", max_matrix_cells=0
+        )
+        self.positions = rng.integers(0, m, size=(p, n), dtype=np.int64)
+        fitness = self._fitness(self.positions)
+        self.pbest = self.positions.copy()
+        self.pbest_fit = fitness.copy()
+        pull = cfg.cognitive + cfg.social
+        self._p_pbest = (1 - cfg.inertia) * cfg.cognitive / pull
+        self._p_gbest = (1 - cfg.inertia) * cfg.social / pull
+        g = int(np.argmin(fitness))
+        return Candidate(self.positions[g], float(fitness[g]), evaluations=p)
+
+    def step(
+        self,
+        iteration: int,
+        rng: np.random.Generator,
+        incumbent_assignment: np.ndarray | None,
+        incumbent_fitness: float,
+    ) -> Candidate:
+        cfg = self.cfg
+        p, n = self.positions.shape
+        m = self.context.num_vms
+        u = rng.random((p, n))
+        take_pbest = u < self._p_pbest
+        take_gbest = (u >= self._p_pbest) & (u < self._p_pbest + self._p_gbest)
+        positions = np.where(take_pbest, self.pbest, self.positions)
+        positions = np.where(
+            take_gbest, np.broadcast_to(incumbent_assignment, (p, n)), positions
+        )
+        mutate = rng.random((p, n)) < cfg.mutation_rate
+        if mutate.any():
+            positions = np.where(
+                mutate, rng.integers(0, m, size=(p, n), dtype=np.int64), positions
+            )
+        fitness = self._fitness(positions)
+        improved = fitness < self.pbest_fit
+        self.pbest[improved] = positions[improved]
+        self.pbest_fit[improved] = fitness[improved]
+        self.positions = positions
+        g = int(np.argmin(self.pbest_fit))
+        return Candidate(self.pbest[g], float(self.pbest_fit[g]), evaluations=p)
 
 
 class ParticleSwarmScheduler(Scheduler):
@@ -44,6 +133,11 @@ class ParticleSwarmScheduler(Scheduler):
     cost_weight:
         Weight of normalised monetary cost against normalised makespan in
         the fitness (0 = pure makespan).
+    patience:
+        Stop early after this many iterations without improving the global
+        best (``None`` disables early stopping).
+    max_evaluations:
+        Optional shared evaluation budget across the run.
     """
 
     def __init__(
@@ -55,6 +149,8 @@ class ParticleSwarmScheduler(Scheduler):
         social: float = 1.5,
         mutation_rate: float = 0.02,
         cost_weight: float = 0.0,
+        patience: int | None = None,
+        max_evaluations: int | None = None,
     ) -> None:
         if num_particles < 2:
             raise ValueError(f"num_particles must be >= 2, got {num_particles}")
@@ -70,6 +166,12 @@ class ParticleSwarmScheduler(Scheduler):
             raise ValueError(f"mutation_rate must be in [0, 1], got {mutation_rate}")
         if cost_weight < 0:
             raise ValueError(f"cost_weight must be non-negative, got {cost_weight}")
+        if patience is not None and patience < 1:
+            raise ValueError(f"patience must be >= 1 or None, got {patience}")
+        if max_evaluations is not None and max_evaluations < 1:
+            raise ValueError(
+                f"max_evaluations must be >= 1 or None, got {max_evaluations}"
+            )
         self.num_particles = num_particles
         self.max_iterations = max_iterations
         self.inertia = inertia
@@ -77,85 +179,31 @@ class ParticleSwarmScheduler(Scheduler):
         self.social = social
         self.mutation_rate = mutation_rate
         self.cost_weight = cost_weight
+        self.patience = patience
+        self.max_evaluations = max_evaluations
 
     @property
     def name(self) -> str:
         return "pso"
 
-    # -- fitness -----------------------------------------------------------------
-
-    def _fitness(self, positions: np.ndarray, ctx: SchedulingContext) -> np.ndarray:
-        """Vectorised fitness of a (particles, n) position block (lower = better)."""
-        arr = ctx.arrays
-        p, n = positions.shape
-        m = ctx.num_vms
-        capacity = arr.vm_mips * arr.vm_pes
-        # Per-particle per-VM work via one bincount over offset indices.
-        offsets = (np.arange(p)[:, None] * m + positions).ravel()
-        lengths = np.broadcast_to(arr.cloudlet_length, (p, n)).ravel()
-        work = np.bincount(offsets, weights=lengths, minlength=p * m).reshape(p, m)
-        makespan = (work / capacity).max(axis=1)
-        if self.cost_weight == 0:
-            return makespan
-        dc = arr.vm_datacenter[positions]  # (p, n)
-        exec_secs = np.broadcast_to(arr.cloudlet_length, (p, n)) / (
-            arr.vm_mips[positions] * arr.vm_pes[positions]
-        )
-        cost = (
-            arr.dc_cost_per_cpu[dc] * exec_secs
-            + arr.dc_cost_per_mem[dc] * arr.vm_ram[positions]
-            + arr.dc_cost_per_storage[dc] * arr.vm_size[positions]
-            + arr.dc_cost_per_bw[dc]
-            * (arr.cloudlet_file_size + arr.cloudlet_output_size)
-        ).sum(axis=1)
-        # Normalise each objective by its swarm mean so the weight is scale-free.
-        mk = makespan / max(makespan.mean(), 1e-12)
-        co = cost / max(cost.mean(), 1e-12)
-        return mk + self.cost_weight * co
-
-    # -- scheduling ---------------------------------------------------------------
-
     def schedule(self, context: SchedulingContext) -> SchedulingResult:
-        n, m = context.num_cloudlets, context.num_vms
-        rng = context.rng
-        p = self.num_particles
-
-        positions = rng.integers(0, m, size=(p, n), dtype=np.int64)
-        fitness = self._fitness(positions, context)
-        pbest = positions.copy()
-        pbest_fit = fitness.copy()
-        g = int(np.argmin(fitness))
-        gbest = positions[g].copy()
-        gbest_fit = float(fitness[g])
-
-        pull = self.cognitive + self.social
-        p_pbest = (1 - self.inertia) * self.cognitive / pull
-        p_gbest = (1 - self.inertia) * self.social / pull
-
-        for _ in range(self.max_iterations):
-            u = rng.random((p, n))
-            take_pbest = u < p_pbest
-            take_gbest = (u >= p_pbest) & (u < p_pbest + p_gbest)
-            positions = np.where(take_pbest, pbest, positions)
-            positions = np.where(take_gbest, np.broadcast_to(gbest, (p, n)), positions)
-            mutate = rng.random((p, n)) < self.mutation_rate
-            if mutate.any():
-                positions = np.where(
-                    mutate, rng.integers(0, m, size=(p, n), dtype=np.int64), positions
-                )
-            fitness = self._fitness(positions, context)
-            improved = fitness < pbest_fit
-            pbest[improved] = positions[improved]
-            pbest_fit[improved] = fitness[improved]
-            g = int(np.argmin(pbest_fit))
-            if pbest_fit[g] < gbest_fit:
-                gbest = pbest[g].copy()
-                gbest_fit = float(pbest_fit[g])
-
+        operator = _PsoOperator(self, context)
+        outcome = IterativeOptimizer(
+            operator,
+            max_iterations=self.max_iterations,
+            patience=self.patience,
+            max_evaluations=self.max_evaluations,
+        ).run(context.rng)
         return SchedulingResult(
-            assignment=gbest,
+            assignment=outcome.assignment,
             scheduler_name=self.name,
-            info={"best_fitness": gbest_fit, "iterations": self.max_iterations},
+            info={
+                "best_fitness": outcome.fitness,
+                "iterations": outcome.iterations,
+                "evaluations": outcome.evaluations,
+                "stopped": outcome.stopped,
+                "convergence": outcome.trace.as_dict() if outcome.trace else None,
+            },
         )
 
 

@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+import pickle
+
 import pytest
 
+from repro.experiments.figures import ScenarioFamily, get_experiment
 from repro.experiments.runner import SweepRecord, run_point, run_sweep
+from repro.experiments.scenarios import SchedulerFactory
 from repro.schedulers import RoundRobinScheduler
 from repro.schedulers.random_assign import RandomScheduler
 from repro.workloads.heterogeneous import heterogeneous_scenario
@@ -100,3 +104,73 @@ class TestRunSweep:
         )
         assert len(lines) == 1
         assert "basetest" in lines[0]
+
+
+def _strip_wall_clock(record: SweepRecord) -> dict:
+    row = record.__dict__.copy()
+    row.pop("scheduling_time")  # wall clock, never bit-identical
+    return row
+
+
+class TestParallelSweep:
+    """workers=N must reproduce the serial grid exactly (modulo wall clock)."""
+
+    @pytest.fixture(scope="class")
+    def sweep_kwargs(self):
+        definition = get_experiment("fig6a")
+        return dict(
+            scenario_factory=definition.scenario_factory(),
+            scheduler_factories={
+                "basetest": SchedulerFactory("basetest"),
+                "antcolony": SchedulerFactory(
+                    "antcolony", (("max_iterations", 2), ("num_ants", 4))
+                ),
+            },
+            vm_counts=(4, 8),
+            num_cloudlets=24,
+            seeds=(0, 1),
+            engine="des",
+        )
+
+    def test_workers_match_serial_bit_for_bit(self, sweep_kwargs):
+        serial = run_sweep(**sweep_kwargs)
+        parallel = run_sweep(**sweep_kwargs, workers=2)
+        assert len(serial) == len(parallel) == 8
+        assert [_strip_wall_clock(r) for r in serial] == [
+            _strip_wall_clock(r) for r in parallel
+        ]
+
+    def test_workers_one_takes_serial_path(self, sweep_kwargs):
+        serial = run_sweep(**sweep_kwargs)
+        same = run_sweep(**sweep_kwargs, workers=1)
+        assert [_strip_wall_clock(r) for r in serial] == [
+            _strip_wall_clock(r) for r in same
+        ]
+
+    def test_progress_runs_in_parent_in_grid_order(self, sweep_kwargs):
+        lines: list[str] = []
+        run_sweep(**sweep_kwargs, workers=2, progress=lines.append)
+        assert len(lines) == 8
+        # Submission-order consumption: vms=4 rows precede vms=8 rows.
+        assert [("vms=4" in line) for line in lines] == [True] * 4 + [False] * 4
+
+    def test_factories_are_picklable(self):
+        for obj in (
+            ScenarioFamily("heterogeneous"),
+            SchedulerFactory("antcolony", (("num_ants", 4),)),
+        ):
+            clone = pickle.loads(pickle.dumps(obj))
+            assert clone == obj
+
+    def test_scenario_family_builds_named_scenarios(self):
+        spec = ScenarioFamily("homogeneous")(4, 10, 0)
+        assert spec.num_vms == 4
+        with pytest.raises(ValueError, match="scenario kind"):
+            ScenarioFamily("quantum")(4, 10, 0)
+
+    def test_scheduler_factory_applies_kwargs(self):
+        scheduler = SchedulerFactory(
+            "antcolony", (("max_iterations", 3), ("num_ants", 7))
+        )()
+        assert scheduler.num_ants == 7
+        assert scheduler.max_iterations == 3

@@ -110,3 +110,30 @@ class TestEstimators:
             vm_pes=np.array([2]),
         )
         assert mk == pytest.approx(1.0)
+
+    def test_bincount_accumulation_equals_add_at_reference(self):
+        """The bincount fast path must match np.add.at bit for bit.
+
+        Both sum weights left-to-right per bucket, so the refactor from
+        buffered fancy-index accumulation pins exact equality — any
+        reordering of the summation would break golden-seed metrics.
+        """
+        rng = np.random.default_rng(42)
+        for num_vms in (1, 3, 17):
+            assignment = rng.integers(0, num_vms, size=500)
+            exec_times = rng.uniform(0.1, 1e6, size=500)
+            reference = np.zeros(num_vms)
+            np.add.at(reference, assignment, exec_times)
+            np.testing.assert_array_equal(
+                estimated_vm_finish_times(assignment, exec_times, num_vms), reference
+            )
+            mips = rng.uniform(100.0, 5000.0, size=num_vms)
+            assert estimate_makespan(assignment, exec_times, mips) == (
+                reference / mips
+            ).max()
+
+    def test_estimated_vm_finish_times_empty_vm_stays_zero(self):
+        totals = estimated_vm_finish_times(
+            np.array([2, 2]), np.array([1.0, 2.0]), num_vms=5
+        )
+        np.testing.assert_array_equal(totals, [0.0, 0.0, 3.0, 0.0, 0.0])
