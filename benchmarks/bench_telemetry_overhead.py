@@ -1,0 +1,84 @@
+"""Telemetry overhead on the Round-Robin hot path.
+
+The observability layer's performance contract: instrumentation must be
+near-free.  Disabled, ``span()`` returns a shared no-op singleton and
+``count()`` bails after one attribute load; enabled, the hot loops batch
+their counters (one ``count()`` per ``Simulation.run``, not per event).
+This bench pins that contract on the cheapest scheduler — Round-Robin on
+the DES engine, where scheduling is trivial and the event loop dominates,
+so any per-event instrumentation cost would show up immediately.
+
+Methodology (documented in docs/observability.md): the enabled and
+disabled pipelines are timed interleaved, min-of-N is compared (the
+minimum is robust to scheduler jitter on shared CI runners), and the
+assertion allows 2 % relative plus a small absolute slack so a sub-ms
+wobble on a fast run cannot flake the build.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro import obs
+from repro.cloud.simulation import CloudSimulation
+from repro.schedulers import RoundRobinScheduler
+from repro.workloads.heterogeneous import heterogeneous_scenario
+
+#: timing rounds per configuration (min is taken).
+ROUNDS = 5
+#: relative overhead budget for telemetry-enabled runs.
+REL_BUDGET = 0.02
+#: absolute slack so sub-ms jitter cannot flake a fast run.
+ABS_SLACK_S = 0.010
+
+
+def _run_pipeline(scenario) -> float:
+    return CloudSimulation(scenario, RoundRobinScheduler(), seed=0).run().makespan
+
+
+def _min_of_n(fn, rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = perf_counter()
+        fn()
+        best = min(best, perf_counter() - t0)
+    return best
+
+
+def test_telemetry_overhead_rr_hot_path(benchmark):
+    scenario = heterogeneous_scenario(50, 1000, seed=0)
+    _run_pipeline(scenario)  # warm caches before timing anything
+
+    times = {False: float("inf"), True: float("inf")}
+
+    def measure_once():
+        # interleave so drift (thermal, noisy neighbours) hits both arms
+        for enabled in (False, True):
+            with obs.enabled(enabled):
+                obs.reset()
+                t0 = perf_counter()
+                _run_pipeline(scenario)
+                times[enabled] = min(times[enabled], perf_counter() - t0)
+
+    benchmark.pedantic(measure_once, rounds=ROUNDS, iterations=1)
+
+    t_off, t_on = times[False], times[True]
+    benchmark.extra_info["t_off_s"] = round(t_off, 6)
+    benchmark.extra_info["t_on_s"] = round(t_on, 6)
+    benchmark.extra_info["overhead_pct"] = round(100 * (t_on - t_off) / t_off, 3)
+    assert t_on <= t_off * (1 + REL_BUDGET) + ABS_SLACK_S, (
+        f"telemetry-enabled RR pipeline took {t_on:.4f}s vs {t_off:.4f}s disabled "
+        f"({100 * (t_on - t_off) / t_off:.1f}% > {100 * REL_BUDGET:.0f}% budget)"
+    )
+
+
+def test_disabled_telemetry_records_nothing(benchmark):
+    """The disabled path must be a true no-op, not just a cheap one."""
+    scenario = heterogeneous_scenario(20, 200, seed=0)
+    obs.reset()
+    assert not obs.is_enabled()
+    makespan = benchmark.pedantic(
+        lambda: _run_pipeline(scenario), rounds=2, iterations=1
+    )
+    assert makespan > 0
+    assert obs.snapshot().is_empty

@@ -25,6 +25,8 @@ import numpy as np
 
 from repro.metrics.definitions import makespan as makespan_metric
 from repro.metrics.definitions import time_imbalance
+from repro.obs.manifest import capture_manifest
+from repro.obs.telemetry import TELEMETRY as _TEL
 from repro.schedulers.base import Scheduler, SchedulingContext
 from repro.workloads.spec import ScenarioSpec
 
@@ -116,28 +118,46 @@ class FastSimulation:
         # the dominant allocation.
         arr = context.arrays
 
-        t0 = time.perf_counter()
-        decision = self.scheduler.schedule_checked(context)
-        scheduling_time = time.perf_counter() - t0
+        telemetry_before = _TEL.snapshot() if _TEL.enabled else None
+
+        with _TEL.span("sim.schedule"):
+            t0 = time.perf_counter()
+            decision = self.scheduler.schedule_checked(context)
+            scheduling_time = time.perf_counter() - t0
 
         assignment = decision.assignment
-        exec_times = arr.cloudlet_length / arr.vm_mips[assignment]
+        with _TEL.span("sim.execute"):
+            exec_times = arr.cloudlet_length / arr.vm_mips[assignment]
 
-        if (arr.vm_pes == 1).all():
-            start, finish = grouped_fifo_times(assignment, exec_times, arr.num_vms)
-        else:
-            start = np.empty_like(exec_times)
-            finish = np.empty_like(exec_times)
-            for vm_idx in np.unique(assignment):
-                members = np.flatnonzero(assignment == vm_idx)
-                s, f = multi_pe_fifo_times(
-                    members, exec_times[members], int(arr.vm_pes[vm_idx])
-                )
-                start[members] = s
-                finish[members] = f
+            if (arr.vm_pes == 1).all():
+                start, finish = grouped_fifo_times(assignment, exec_times, arr.num_vms)
+            else:
+                start = np.empty_like(exec_times)
+                finish = np.empty_like(exec_times)
+                for vm_idx in np.unique(assignment):
+                    members = np.flatnonzero(assignment == vm_idx)
+                    s, f = multi_pe_fifo_times(
+                        members, exec_times[members], int(arr.vm_pes[vm_idx])
+                    )
+                    start[members] = s
+                    finish[members] = f
 
         costs = compute_batch_costs(scenario, assignment)
         per_task = finish - start
+        info = {
+            "engine": "fast",
+            "execution_model": "space-shared",
+            "manifest": capture_manifest(
+                scenario=scenario,
+                scheduler=self.scheduler,
+                seed=self.seed,
+                engine="fast",
+                execution_model="space-shared",
+            ).to_dict(),
+            **decision.info,
+        }
+        if telemetry_before is not None:
+            info["telemetry"] = _TEL.snapshot().diff(telemetry_before).to_dict()
         return SimulationResult(
             scenario_name=scenario.name,
             scheduler_name=decision.scheduler_name,
@@ -152,7 +172,7 @@ class FastSimulation:
             exec_times=per_task,
             costs=costs,
             events_processed=0,
-            info={"engine": "fast", "execution_model": "space-shared", **decision.info},
+            info=info,
         )
 
 

@@ -60,6 +60,7 @@ from repro.cloud.vm import Vm
 from repro.core.entity import Entity
 from repro.core.eventqueue import Event
 from repro.core.tags import EventTag
+from repro.obs.telemetry import TELEMETRY as _TEL
 from repro.metrics.definitions import makespan, time_imbalance
 from repro.schedulers.base import Scheduler, SchedulingContext
 from repro.workloads.spec import ScenarioSpec
@@ -251,6 +252,8 @@ class FaultInjector(Entity):
         self.vm_factory = vm_factory
 
     def start(self) -> None:
+        if _TEL.enabled and self.plan:
+            _TEL.count("faults.injected", len(self.plan))
         for entry in self.plan:
             dc_id = self.vm_entity[entry.vm_index]
             if isinstance(entry, VmFailure):

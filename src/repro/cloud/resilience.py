@@ -48,6 +48,8 @@ from repro.cloud.simulation import (
 )
 from repro.core.eventqueue import Event
 from repro.core.rng import spawn_rng
+from repro.obs.manifest import capture_manifest
+from repro.obs.telemetry import TELEMETRY as _TEL
 from repro.core.tags import EventTag
 from repro.metrics.definitions import makespan, time_imbalance
 from repro.schedulers.base import Scheduler, SchedulingContext
@@ -309,8 +311,12 @@ class ReschedulingBroker(DatacenterBroker):
         delay = self.retry_policy.next_delay(int(self.attempts[c_idx]), self.rng)
         if delay is None:
             self.dead_letter.append(c_idx)
+            if _TEL.enabled:
+                _TEL.count("resilience.dead_letters")
             return
         self.retries += 1
+        if _TEL.enabled:
+            _TEL.count("resilience.retries")
         due = self.now + delay
         bucket = self._retry_buckets.setdefault(due, [])
         bucket.append(c_idx)
@@ -327,10 +333,13 @@ class ReschedulingBroker(DatacenterBroker):
             self.dead_letter.extend(indices)
             return
         t0 = time.perf_counter()
-        sub = self.context.restrict(np.asarray(indices, dtype=np.int64), alive)
-        result = self.scheduler.schedule_checked(sub)
+        with _TEL.span("resilience.reschedule"):
+            sub = self.context.restrict(np.asarray(indices, dtype=np.int64), alive)
+            result = self.scheduler.schedule_checked(sub)
         self.rescheduling_seconds += time.perf_counter() - t0
         self.reschedules += 1
+        if _TEL.enabled:
+            _TEL.count("resilience.reschedules")
         for local_c, c_idx in enumerate(indices):
             self._dispatch(c_idx, int(alive[result.assignment[local_c]]))
 
@@ -343,6 +352,8 @@ class ReschedulingBroker(DatacenterBroker):
             return
         vm_idx = int(self.final_assignment[c_idx])
         self.speculative_cancels += 1
+        if _TEL.enabled:
+            _TEL.count("resilience.speculative_cancels")
         self.send_now(
             self.vm_placement[vm_idx], EventTag.CLOUDLET_CANCEL, data=cloudlet
         )
@@ -376,9 +387,10 @@ def run_resilient(
     validate_fault_plan(failures, scenario.num_vms)
 
     context = SchedulingContext.from_scenario(scenario, seed)
-    t0 = time.perf_counter()
-    decision = scheduler.schedule_checked(context)
-    scheduling_time = time.perf_counter() - t0
+    with _TEL.span("sim.schedule"):
+        t0 = time.perf_counter()
+        decision = scheduler.schedule_checked(context)
+        scheduling_time = time.perf_counter() - t0
 
     env = build_simulation(scenario, execution_model=execution_model)
     broker = ReschedulingBroker(
@@ -405,7 +417,8 @@ def run_resilient(
     )
     env.sim.register(injector)
 
-    env.sim.run()
+    with _TEL.span("sim.execute"):
+        env.sim.run()
     cloudlets = env.cloudlets
     if not broker.all_finished:
         raise RuntimeError(
@@ -443,6 +456,14 @@ def run_resilient(
         info={
             "engine": "des+resilience",
             "execution_model": execution_model,
+            "manifest": capture_manifest(
+                scenario=scenario,
+                scheduler=scheduler,
+                seed=seed,
+                engine="des+resilience",
+                execution_model=execution_model,
+                num_planned_faults=len(failures),
+            ).to_dict(),
             "failures": len(failures),
             "retries": broker.retries,
             "reschedules": broker.reschedules,

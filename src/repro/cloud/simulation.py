@@ -27,6 +27,8 @@ from repro.cloud.host import Host
 from repro.cloud.topology import NetworkTopology
 from repro.cloud.vm import Vm
 from repro.core.engine import Simulation
+from repro.obs.manifest import capture_manifest
+from repro.obs.telemetry import TELEMETRY as _TEL
 from repro.metrics.definitions import (
     average_waiting_time,
     makespan,
@@ -326,24 +328,29 @@ class CloudSimulation:
         scenario = self.scenario
         context = SchedulingContext.from_scenario(scenario, self.seed)
 
-        t0 = time.perf_counter()
-        decision = self.scheduler.schedule_checked(context)
-        scheduling_time = time.perf_counter() - t0
+        telemetry_before = _TEL.snapshot() if _TEL.enabled else None
 
-        env = build_simulation(
-            scenario, execution_model=self.execution_model, trace=self.trace
-        )
-        sim, cloudlets = env.sim, env.cloudlets
-        broker = DatacenterBroker(
-            name="broker",
-            vms=env.vms,
-            cloudlets=cloudlets,
-            assignment=decision.assignment,
-            vm_placement=env.vm_placement,
-            topology=self.topology,
-        )
-        sim.register(broker)
-        sim.run()
+        with _TEL.span("sim.schedule"):
+            t0 = time.perf_counter()
+            decision = self.scheduler.schedule_checked(context)
+            scheduling_time = time.perf_counter() - t0
+
+        with _TEL.span("sim.build"):
+            env = build_simulation(
+                scenario, execution_model=self.execution_model, trace=self.trace
+            )
+            sim, cloudlets = env.sim, env.cloudlets
+            broker = DatacenterBroker(
+                name="broker",
+                vms=env.vms,
+                cloudlets=cloudlets,
+                assignment=decision.assignment,
+                vm_placement=env.vm_placement,
+                topology=self.topology,
+            )
+            sim.register(broker)
+        with _TEL.span("sim.execute"):
+            sim.run()
 
         if not broker.all_finished:
             raise RuntimeError(
@@ -351,11 +358,27 @@ class CloudSimulation:
                 f"{len(cloudlets)} cloudlets finished"
             )
 
-        submission = np.array([c.submission_time for c in cloudlets])
-        start = np.array([c.exec_start_time for c in cloudlets])
-        finish = np.array([c.finish_time for c in cloudlets])
-        exec_times = finish - start
-        costs = compute_batch_costs(scenario, decision.assignment)
+        with _TEL.span("sim.reduce"):
+            submission = np.array([c.submission_time for c in cloudlets])
+            start = np.array([c.exec_start_time for c in cloudlets])
+            finish = np.array([c.finish_time for c in cloudlets])
+            exec_times = finish - start
+            costs = compute_batch_costs(scenario, decision.assignment)
+
+        info = {
+            "engine": "des",
+            "execution_model": self.execution_model,
+            "manifest": capture_manifest(
+                scenario=scenario,
+                scheduler=self.scheduler,
+                seed=self.seed,
+                engine="des",
+                execution_model=self.execution_model,
+            ).to_dict(),
+            **decision.info,
+        }
+        if telemetry_before is not None:
+            info["telemetry"] = _TEL.snapshot().diff(telemetry_before).to_dict()
 
         return SimulationResult(
             scenario_name=scenario.name,
@@ -371,11 +394,7 @@ class CloudSimulation:
             exec_times=exec_times,
             costs=costs,
             events_processed=sim.events_processed,
-            info={
-                "engine": "des",
-                "execution_model": self.execution_model,
-                **decision.info,
-            },
+            info=info,
         )
 
 

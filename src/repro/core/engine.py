@@ -12,6 +12,7 @@ from typing import Any, Callable, Iterable
 from repro.core.entity import Entity
 from repro.core.eventqueue import Event, EventQueue
 from repro.core.tags import EventTag
+from repro.obs.telemetry import TELEMETRY as _TEL
 
 
 class SimulationError(RuntimeError):
@@ -178,6 +179,9 @@ class Simulation:
             self._running = False
             for entity in self._entities:
                 entity.shutdown()
+        if _TEL.enabled and delivered:
+            # Batched once per run() call, not per event, to keep the loop hot.
+            _TEL.count("core.events_dispatched", delivered)
         return self._clock
 
     def step(self) -> Event | None:

@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate paper figures.
+"""Command-line entry point: regenerate paper figures and render reports.
 
 Examples
 --------
@@ -6,6 +6,8 @@ Examples
 
     python -m repro.experiments fig6a --preset quick
     python -m repro.experiments all --preset scaled --out results/ -v
+    python -m repro.experiments fig6a --telemetry --out results/
+    python -m repro.experiments report results/
     python -m repro.experiments list
 """
 
@@ -16,6 +18,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.experiments.extensions import EXTENSION_EXPERIMENTS
 from repro.experiments.figures import EXPERIMENTS, run_experiment
 from repro.experiments.report import render_figure, save_figure
@@ -31,7 +34,17 @@ def build_parser() -> argparse.ArgumentParser:
         "target",
         help=(
             "figure id (fig4a-fig5b, fig6a-fig6d), extension id (ext-*), "
-            "'compare', 'all', or 'list'"
+            "'compare', 'report', 'all', or 'list'"
+        ),
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        type=Path,
+        default=None,
+        help=(
+            "for target 'report': a run JSON (SimulationResult.save), a "
+            "telemetry JSONL, or a sweep directory (default: --out)"
         ),
     )
     compare = parser.add_argument_group("compare options (target 'compare')")
@@ -68,6 +81,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "worker processes for the sweep grid (default: serial); "
             "records are bit-identical to a serial run"
+        ),
+    )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help=(
+            "record span timings and subsystem counters during the sweep and "
+            "write <out>/<target>.telemetry.jsonl next to the CSV"
         ),
     )
     parser.add_argument(
@@ -115,10 +136,79 @@ def run_compare(args) -> int:
     return 0
 
 
+def _report_one(path: Path) -> bool:
+    """Render one artifact (run JSON or telemetry JSONL); False if unusable."""
+    if path.suffix == ".jsonl":
+        try:
+            snapshot, manifest = obs.read_telemetry_jsonl(path)
+        except (ValueError, KeyError):
+            return False
+        print(obs.render_telemetry(snapshot, title=str(path)))
+        if manifest is not None:
+            print()
+            print(obs.render_manifest(manifest))
+        print()
+        return True
+    if path.suffix == ".json":
+        from repro.cloud.simulation import SimulationResult
+
+        try:
+            result = SimulationResult.load(path)
+        except (ValueError, KeyError):
+            return False
+        title = f"{path} — {result.scheduler_name} on {result.scenario_name}"
+        telemetry = result.info.get("telemetry")
+        if telemetry:
+            snapshot = obs.TelemetrySnapshot.from_dict(telemetry)
+            print(obs.render_telemetry(snapshot, title=title))
+        else:
+            print(title)
+            print("=" * len(title))
+            print("(run was recorded without telemetry)")
+        manifest_dict = result.info.get("manifest")
+        if manifest_dict:
+            print()
+            print(obs.render_manifest(obs.RunManifest.from_dict(manifest_dict)))
+        print()
+        return True
+    return False
+
+
+def run_report(args) -> int:
+    """Render telemetry/manifest reports for a run file or sweep directory."""
+    path = args.path if args.path is not None else args.out
+    if not path.exists():
+        print(f"report target {path} does not exist", file=sys.stderr)
+        return 2
+    if path.is_file():
+        if _report_one(path):
+            return 0
+        print(
+            f"{path} is neither a telemetry JSONL nor a saved run JSON",
+            file=sys.stderr,
+        )
+        return 2
+    rendered = 0
+    for candidate in sorted(path.iterdir()):
+        if candidate.suffix in (".jsonl", ".json") and _report_one(candidate):
+            rendered += 1
+    if rendered == 0:
+        print(
+            f"no telemetry artifacts in {path}; run a figure with --telemetry "
+            "or save a run with SimulationResult.save first",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"({rendered} artifact(s) rendered from {path})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.target == "compare":
         return run_compare(args)
+    if args.target == "report":
+        return run_report(args)
     if args.target == "list":
         for experiment_id, definition in sorted(EXPERIMENTS.items()):
             print(f"{experiment_id:10s} {definition.title}")
@@ -135,8 +225,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiment(s) {unknown}; try 'list'", file=sys.stderr)
         return 2
 
+    if args.telemetry:
+        obs.enable()
     progress = print if args.verbose else None
     for target in targets:
+        telemetry_before = obs.snapshot() if args.telemetry else None
         t0 = time.perf_counter()
         if target in EXTENSION_EXPERIMENTS:
             if args.workers and args.workers > 1:
@@ -152,6 +245,20 @@ def main(argv: list[str] | None = None) -> int:
         print(render_figure(data, logy=logy))
         path = save_figure(data, args.out)
         print(f"(swept in {elapsed:.1f}s; CSV written to {path})\n")
+        if telemetry_before is not None:
+            snapshot = obs.snapshot().diff(telemetry_before)
+            manifest = obs.capture_manifest(
+                engine="sweep",
+                timestamp=True,
+                experiment=target,
+                preset=args.preset,
+                workers=args.workers,
+            )
+            telemetry_path = obs.write_telemetry_jsonl(
+                args.out / f"{target}.telemetry.jsonl", snapshot, manifest
+            )
+            print(obs.render_telemetry(snapshot, title=f"{target} telemetry"))
+            print(f"(telemetry written to {telemetry_path})\n")
     return 0
 
 

@@ -1,9 +1,18 @@
-"""Profiling helpers.
+"""Profiling helpers: one documented entry point for "profile this scheduler".
 
 The hpc-parallel guideline this project follows is *no optimization without
-measuring*: these wrappers make it one call to profile a scheduler decision
-or a whole simulation and get the hot functions back, without littering the
-experiment code with ``cProfile`` boilerplate.
+measuring*.  :func:`profile_scheduling` is that one entry point: it runs a
+scheduling decision under both observability layers at once —
+
+* the :mod:`repro.obs` span timers, giving the *per-phase* view
+  (``aco.construct`` vs ``aco.pheromone_update``, scheduler-level), and
+* ``cProfile``, giving the *per-function* view below the spans.
+
+The two render into a single :class:`ProfileReport` whose ``text`` starts
+with the span table and ends with the classic cProfile top-N — no separate
+telemetry bookkeeping, no ``cProfile`` boilerplate in experiment code.
+:func:`profile_simulation` does the same for a full pipeline run and
+:func:`profile_callable` for any zero-arg callable.
 
 Examples
 --------
@@ -14,6 +23,20 @@ Examples
 >>> report = profile_scheduling(AntColonyScheduler(num_ants=4, max_iterations=1), scenario)
 >>> "function calls" in report.text
 True
+
+The span section names the scheduler's hot phases directly:
+
+>>> "aco.construct" in report.text
+True
+>>> any(path.endswith("aco.construct") for path in report.telemetry.spans)
+True
+
+Telemetry capture restores the global switch afterwards, so profiling a
+run never leaves instrumentation enabled behind your back:
+
+>>> from repro import obs
+>>> obs.is_enabled()
+False
 """
 
 from __future__ import annotations
@@ -24,18 +47,26 @@ import pstats
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro import obs
 from repro.schedulers.base import Scheduler, SchedulingContext
 from repro.workloads.spec import ScenarioSpec
 
 
 @dataclass(frozen=True)
 class ProfileReport:
-    """Captured profile: raw stats plus a rendered top-N text table."""
+    """Captured profile: span telemetry plus a rendered cProfile table.
+
+    ``text`` is the merged human-readable report (span table first, then
+    the cProfile top-N); ``telemetry`` holds the structured span/counter
+    snapshot for the profiled call so tooling can aggregate or export it
+    via :mod:`repro.obs.export`.
+    """
 
     text: str
     total_calls: int
     total_time: float
     result: Any
+    telemetry: "obs.TelemetrySnapshot | None" = None
 
     def __str__(self) -> str:
         return self.text
@@ -45,24 +76,49 @@ def profile_callable(
     fn: Callable[[], Any],
     sort: str = "cumulative",
     top: int = 25,
+    telemetry: bool = True,
 ) -> ProfileReport:
-    """Run ``fn`` under cProfile and return a :class:`ProfileReport`."""
+    """Run ``fn`` under cProfile (and, by default, span telemetry).
+
+    With ``telemetry=True`` the :mod:`repro.obs` switch is forced on for
+    the duration of the call (and restored afterwards); the spans and
+    counters the call emitted are isolated via snapshot diff and merged
+    into the report.  Pass ``telemetry=False`` to profile the exact
+    production configuration with instrumentation disabled.
+    """
     if top < 1:
         raise ValueError(f"top must be >= 1, got {top}")
     profiler = cProfile.Profile()
-    profiler.enable()
-    try:
-        result = fn()
-    finally:
-        profiler.disable()
+    snapshot: "obs.TelemetrySnapshot | None" = None
+    if telemetry:
+        with obs.enabled():
+            before = obs.snapshot()
+            profiler.enable()
+            try:
+                result = fn()
+            finally:
+                profiler.disable()
+            snapshot = obs.snapshot().diff(before)
+    else:
+        profiler.enable()
+        try:
+            result = fn()
+        finally:
+            profiler.disable()
     buffer = io.StringIO()
     stats = pstats.Stats(profiler, stream=buffer)
     stats.sort_stats(sort).print_stats(top)
+    sections = []
+    if snapshot is not None and not snapshot.is_empty:
+        sections.append(obs.render_telemetry(snapshot, title="telemetry"))
+        sections.append("")
+    sections.append(buffer.getvalue())
     return ProfileReport(
-        text=buffer.getvalue(),
+        text="\n".join(sections),
         total_calls=int(stats.total_calls),
         total_time=float(stats.total_tt),
         result=result,
+        telemetry=snapshot,
     )
 
 
@@ -72,11 +128,21 @@ def profile_scheduling(
     seed: int | None = 0,
     sort: str = "cumulative",
     top: int = 25,
+    telemetry: bool = True,
 ) -> ProfileReport:
-    """Profile one scheduling decision on ``scenario``."""
+    """Profile one scheduling decision on ``scenario``.
+
+    This is the documented "profile this scheduler" entry point: the
+    returned report's span table shows where the decision spent its time
+    phase by phase, and the cProfile table breaks those phases down to
+    functions.  See ``docs/observability.md`` for a worked walkthrough.
+    """
     context = SchedulingContext.from_scenario(scenario, seed=seed)
     return profile_callable(
-        lambda: scheduler.schedule_checked(context), sort=sort, top=top
+        lambda: scheduler.schedule_checked(context),
+        sort=sort,
+        top=top,
+        telemetry=telemetry,
     )
 
 
@@ -87,6 +153,7 @@ def profile_simulation(
     engine: str = "des",
     sort: str = "cumulative",
     top: int = 25,
+    telemetry: bool = True,
 ) -> ProfileReport:
     """Profile a full (schedule + simulate + metrics) pipeline run."""
     from repro.experiments.runner import run_point
@@ -95,6 +162,7 @@ def profile_simulation(
         lambda: run_point(scenario, scheduler, seed=seed, engine=engine),  # type: ignore[arg-type]
         sort=sort,
         top=top,
+        telemetry=telemetry,
     )
 
 

@@ -25,6 +25,7 @@ from typing import Callable, Iterable, Literal
 
 from repro.cloud.fast import FastSimulation
 from repro.cloud.simulation import CloudSimulation, SimulationResult
+from repro.obs.telemetry import TELEMETRY, TelemetrySnapshot
 from repro.schedulers import Scheduler
 from repro.workloads.spec import ScenarioSpec
 
@@ -113,6 +114,30 @@ def _run_cell(
     return records
 
 
+def _run_cell_with_telemetry(
+    scenario_factory: ScenarioFactory,
+    scheduler_factories: dict[str, Callable[[], Scheduler]],
+    num_vms: int,
+    num_cloudlets: int,
+    seed: int,
+    engine: Engine,
+) -> tuple[list[SweepRecord], dict]:
+    """Worker-side cell runner that ships its telemetry back to the parent.
+
+    Pool processes are reused across cells, so the worker's registry is
+    reset before the cell runs — the returned snapshot is exactly this
+    cell's contribution, which the parent folds into its own registry.
+    Record values are unaffected: telemetry never feeds back into the
+    simulation, so parallel sweeps stay bit-identical to serial ones.
+    """
+    TELEMETRY.reset()
+    TELEMETRY.enable()
+    records = _run_cell(
+        scenario_factory, scheduler_factories, num_vms, num_cloudlets, seed, engine
+    )
+    return records, TELEMETRY.snapshot().to_dict()
+
+
 def run_sweep(
     scenario_factory: ScenarioFactory,
     scheduler_factories: dict[str, Callable[[], Scheduler]],
@@ -181,13 +206,15 @@ def run_sweep(
     # Spawn (not fork) so worker state is a clean import of the code under
     # test on every platform; results are consumed in submission order to
     # keep the output indistinguishable from the serial path.
+    capture_telemetry = TELEMETRY.enabled
+    cell_runner = _run_cell_with_telemetry if capture_telemetry else _run_cell
     ctx = multiprocessing.get_context("spawn")
     with concurrent.futures.ProcessPoolExecutor(
         max_workers=workers, mp_context=ctx
     ) as pool:
         futures = [
             pool.submit(
-                _run_cell,
+                cell_runner,
                 scenario_factory,
                 scheduler_factories,
                 num_vms,
@@ -198,7 +225,13 @@ def run_sweep(
             for num_vms, seed in cells
         ]
         for future in futures:
-            emit(future.result())
+            outcome = future.result()
+            if capture_telemetry:
+                cell_records, snapshot_dict = outcome
+                TELEMETRY.merge_snapshot(TelemetrySnapshot.from_dict(snapshot_dict))
+            else:
+                cell_records = outcome
+            emit(cell_records)
     return records
 
 

@@ -1,0 +1,164 @@
+"""Run manifests: everything needed to reproduce a result from its artifact.
+
+A :class:`RunManifest` captures the four inputs that determine a run —
+scenario, scheduler configuration, seed and engine — plus the software
+environment (package/python/numpy versions, platform, hostname).  The
+simulation façades attach one to every ``SimulationResult.info`` under
+the ``"manifest"`` key, and sweep artifacts written by the CLI carry one
+per figure, so any number in a report can be traced back to the exact
+configuration that produced it.
+
+Manifests are deterministic by default: ``captured_at`` stays ``None``
+unless a caller opts in with ``timestamp=True``.  This keeps results
+bit-comparable across reruns and across serial/parallel sweep paths —
+the golden-assignment and zero-fault reproduction suites rely on it.
+
+Example::
+
+    >>> from repro.obs.manifest import RunManifest
+    >>> m = RunManifest.from_dict({"seed": 7, "engine": "fast"})
+    >>> m.seed, m.engine
+    (7, 'fast')
+    >>> RunManifest.from_dict(m.to_dict()) == m
+    True
+"""
+
+from __future__ import annotations
+
+import platform as _platform
+import socket
+import sys
+from dataclasses import asdict, dataclass, field
+from datetime import datetime, timezone
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro._version import __version__
+
+__all__ = ["RunManifest", "capture_manifest"]
+
+#: Types allowed verbatim inside manifest parameter dicts.
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def _json_safe(value: Any) -> Any:
+    """Best-effort conversion of a config value to a JSON-safe form."""
+    if isinstance(value, _JSON_SCALARS):
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return None
+
+
+def scheduler_params(scheduler: Any) -> dict[str, Any]:
+    """JSON-safe public constructor parameters of a scheduler instance.
+
+    Pulls everything out of ``vars(scheduler)`` that survives the
+    JSON-safety filter; private attributes (leading underscore) and
+    non-serialisable state (arrays, kernels) are dropped.
+    """
+    params: dict[str, Any] = {}
+    for key, value in sorted(vars(scheduler).items()):
+        if key.startswith("_"):
+            continue
+        safe = _json_safe(value)
+        if safe is not None or value is None:
+            params[key] = safe
+    return params
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance record for one scheduling run or sweep artifact.
+
+    All fields are JSON scalars or plain dicts, so ``to_dict`` output can
+    be embedded directly in ``SimulationResult.info`` and survive the
+    result's JSON save/load path.
+    """
+
+    package_version: str = __version__
+    python_version: str = field(
+        default_factory=lambda: _platform.python_version()
+    )
+    numpy_version: str = np.__version__
+    platform: str = field(default_factory=_platform.platform)
+    hostname: str = field(default_factory=socket.gethostname)
+    seed: int | None = None
+    engine: str | None = None
+    scenario: dict[str, Any] | None = None
+    scheduler: dict[str, Any] | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+    #: ISO-8601 UTC timestamp; ``None`` (the default) keeps runs
+    #: bit-comparable.  Only CLI-written sweep artifacts stamp it.
+    captured_at: str | None = None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RunManifest):
+            return NotImplemented
+        return asdict(self) == asdict(other)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunManifest":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def capture_manifest(
+    *,
+    scenario: Any = None,
+    scheduler: Any = None,
+    seed: int | None = None,
+    engine: str | None = None,
+    timestamp: bool = False,
+    **extra: Any,
+) -> RunManifest:
+    """Build a :class:`RunManifest` for the given run inputs.
+
+    ``scenario`` may be a :class:`~repro.workloads.spec.ScenarioSpec` (its
+    name, sizes and generation seed are summarised) and ``scheduler`` any
+    scheduler instance (its name and JSON-safe constructor parameters are
+    recorded via :func:`scheduler_params`).  Extra keyword arguments land
+    in :attr:`RunManifest.extra`.
+
+    ``timestamp=True`` stamps :attr:`RunManifest.captured_at` with the
+    current UTC time; leave it off anywhere determinism matters.
+    """
+    scenario_summary = None
+    if scenario is not None:
+        scenario_summary = {
+            "name": scenario.name,
+            "num_vms": len(scenario.vms),
+            "num_cloudlets": len(scenario.cloudlets),
+            "num_datacenters": len(scenario.datacenters),
+            "seed": scenario.seed,
+        }
+    scheduler_summary = None
+    if scheduler is not None:
+        scheduler_summary = {
+            "name": getattr(scheduler, "name", type(scheduler).__name__),
+            "class": type(scheduler).__name__,
+            "params": scheduler_params(scheduler),
+        }
+    return RunManifest(
+        seed=seed,
+        engine=engine,
+        scenario=scenario_summary,
+        scheduler=scheduler_summary,
+        extra={k: _json_safe(v) for k, v in extra.items()},
+        captured_at=(
+            datetime.now(timezone.utc).isoformat(timespec="seconds")
+            if timestamp
+            else None
+        ),
+    )

@@ -1,0 +1,327 @@
+"""Low-overhead structured telemetry: hierarchical spans, counters, gauges.
+
+The module owns a single process-global :class:`Telemetry` registry,
+exposed as :data:`TELEMETRY`.  Instrumented code calls :func:`span`,
+:func:`count` and :func:`gauge`; all three are near-free while telemetry
+is disabled (the default):
+
+* :func:`span` returns a shared no-op context manager singleton — no
+  allocation, no clock read.
+* :func:`count` / :func:`gauge` return after a single attribute check.
+
+Hot loops that emit many counters should batch locally and flush one
+``count(name, n)`` after the loop, or guard with ``TELEMETRY.enabled``
+so the disabled path stays a plain attribute test.
+
+Spans nest: entering ``span("optim.run")`` and then ``span("aco.construct")``
+records the inner time under the hierarchical path
+``"optim.run/aco.construct"``, so one phase's cost can be read in the
+context of its caller.  Aggregation is by path — per-call events are not
+retained, only ``(count, total_s)`` per path — which keeps memory constant
+regardless of run length and makes snapshots cheap to merge across
+worker processes.
+
+Example::
+
+    >>> from repro.obs import telemetry
+    >>> telemetry.reset()
+    >>> with telemetry.enabled():
+    ...     with telemetry.span("outer"):
+    ...         with telemetry.span("inner"):
+    ...             telemetry.count("widgets", 3)
+    >>> snap = telemetry.snapshot()
+    >>> sorted(snap.spans)
+    ['outer', 'outer/inner']
+    >>> snap.counters["widgets"]
+    3
+    >>> telemetry.is_enabled()
+    False
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Iterator
+
+__all__ = [
+    "SpanStat",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "TELEMETRY",
+    "span",
+    "count",
+    "gauge",
+    "enable",
+    "disable",
+    "is_enabled",
+    "enabled",
+    "snapshot",
+    "reset",
+]
+
+
+@dataclass
+class SpanStat:
+    """Aggregate timing for one span path: call count and total seconds."""
+
+    count: int = 0
+    total_s: float = 0.0
+
+    def add(self, elapsed_s: float) -> None:
+        self.count += 1
+        self.total_s += elapsed_s
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """Immutable copy of the registry, safe to ship between processes.
+
+    Snapshots support set-algebra over runs: :meth:`diff` isolates what a
+    region of code contributed on top of an earlier snapshot, and
+    :meth:`merge` folds worker-process snapshots into a parent total.
+    """
+
+    spans: dict[str, SpanStat] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.spans or self.counters or self.gauges)
+
+    def diff(self, earlier: "TelemetrySnapshot") -> "TelemetrySnapshot":
+        """Activity recorded after ``earlier`` was taken (self - earlier)."""
+        spans = {}
+        for path, stat in self.spans.items():
+            base = earlier.spans.get(path)
+            delta_count = stat.count - (base.count if base else 0)
+            delta_total = stat.total_s - (base.total_s if base else 0.0)
+            if delta_count > 0:
+                spans[path] = SpanStat(delta_count, delta_total)
+        counters = {}
+        for name, value in self.counters.items():
+            delta = value - earlier.counters.get(name, 0)
+            if delta:
+                counters[name] = delta
+        gauges = {
+            name: value
+            for name, value in self.gauges.items()
+            if earlier.gauges.get(name) != value
+        }
+        return TelemetrySnapshot(spans, counters, gauges)
+
+    def merge(self, other: "TelemetrySnapshot") -> "TelemetrySnapshot":
+        """Combined totals (span/counter sums; ``other``'s gauges win)."""
+        spans = {path: SpanStat(s.count, s.total_s) for path, s in self.spans.items()}
+        for path, stat in other.spans.items():
+            if path in spans:
+                spans[path].count += stat.count
+                spans[path].total_s += stat.total_s
+            else:
+                spans[path] = SpanStat(stat.count, stat.total_s)
+        counters = dict(self.counters)
+        for name, value in other.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        gauges = {**self.gauges, **other.gauges}
+        return TelemetrySnapshot(spans, counters, gauges)
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (inverse of :meth:`from_dict`)."""
+        return {
+            "spans": {
+                path: {"count": stat.count, "total_s": stat.total_s}
+                for path, stat in sorted(self.spans.items())
+            },
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TelemetrySnapshot":
+        return cls(
+            spans={
+                path: SpanStat(int(entry["count"]), float(entry["total_s"]))
+                for path, entry in data.get("spans", {}).items()
+            },
+            counters={k: int(v) for k, v in data.get("counters", {}).items()},
+            gauges={k: float(v) for k, v in data.get("gauges", {}).items()},
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing context manager returned while telemetry is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Live span: pushes its hierarchical path, times the body on exit."""
+
+    __slots__ = ("_telemetry", "_name", "_path", "_t0")
+
+    def __init__(self, telemetry: "Telemetry", name: str) -> None:
+        self._telemetry = telemetry
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        stack = self._telemetry._stack
+        self._path = f"{stack[-1]}/{self._name}" if stack else self._name
+        stack.append(self._path)
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        elapsed = perf_counter() - self._t0
+        telemetry = self._telemetry
+        telemetry._stack.pop()
+        stat = telemetry._spans.get(self._path)
+        if stat is None:
+            telemetry._spans[self._path] = stat = SpanStat()
+        stat.add(elapsed)
+        return False
+
+
+class Telemetry:
+    """Process-global registry of spans, counters and gauges.
+
+    ``enabled`` is a plain attribute so instrumented hot paths can guard
+    with a single load (``if TELEMETRY.enabled: ...``).
+    """
+
+    __slots__ = ("enabled", "_spans", "_counters", "_gauges", "_stack")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._spans: dict[str, SpanStat] = {}
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._stack: list[str] = []
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded data (the enabled flag is left unchanged)."""
+        self._spans.clear()
+        self._counters.clear()
+        self._gauges.clear()
+        self._stack.clear()
+
+    def span(self, name: str) -> "_Span | _NullSpan":
+        """Context manager timing its body under the active span path."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the named monotonic counter (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a point-in-time value; the latest write wins."""
+        if not self.enabled:
+            return
+        self._gauges[name] = value
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """Deep-copied view of the current totals."""
+        return TelemetrySnapshot(
+            spans={p: SpanStat(s.count, s.total_s) for p, s in self._spans.items()},
+            counters=dict(self._counters),
+            gauges=dict(self._gauges),
+        )
+
+    def merge_snapshot(self, snap: TelemetrySnapshot) -> None:
+        """Fold a snapshot (e.g. from a worker process) into this registry."""
+        for path, stat in snap.spans.items():
+            mine = self._spans.get(path)
+            if mine is None:
+                self._spans[path] = SpanStat(stat.count, stat.total_s)
+            else:
+                mine.count += stat.count
+                mine.total_s += stat.total_s
+        for name, value in snap.counters.items():
+            self._counters[name] = self._counters.get(name, 0) + value
+        self._gauges.update(snap.gauges)
+
+
+#: The process-global registry used by all instrumented repro code.
+TELEMETRY = Telemetry()
+
+
+def span(name: str) -> "_Span | _NullSpan":
+    """Module-level shortcut for ``TELEMETRY.span``."""
+    if not TELEMETRY.enabled:
+        return _NULL_SPAN
+    return _Span(TELEMETRY, name)
+
+
+def count(name: str, n: int = 1) -> None:
+    """Module-level shortcut for ``TELEMETRY.count``."""
+    TELEMETRY.count(name, n)
+
+
+def gauge(name: str, value: float) -> None:
+    """Module-level shortcut for ``TELEMETRY.gauge``."""
+    TELEMETRY.gauge(name, value)
+
+
+def enable() -> None:
+    TELEMETRY.enable()
+
+
+def disable() -> None:
+    TELEMETRY.disable()
+
+
+def is_enabled() -> bool:
+    return TELEMETRY.enabled
+
+
+def snapshot() -> TelemetrySnapshot:
+    return TELEMETRY.snapshot()
+
+
+def reset() -> None:
+    TELEMETRY.reset()
+
+
+@contextmanager
+def enabled(flag: bool = True) -> Iterator[Telemetry]:
+    """Temporarily force telemetry on (or off), restoring the prior state.
+
+    >>> from repro.obs import telemetry
+    >>> telemetry.is_enabled()
+    False
+    >>> with telemetry.enabled():
+    ...     telemetry.is_enabled()
+    True
+    >>> telemetry.is_enabled()
+    False
+    """
+    previous = TELEMETRY.enabled
+    TELEMETRY.enabled = flag
+    try:
+        yield TELEMETRY
+    finally:
+        TELEMETRY.enabled = previous

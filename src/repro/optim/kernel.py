@@ -37,6 +37,7 @@ from typing import Literal
 
 import numpy as np
 
+from repro.obs.telemetry import TELEMETRY as _TEL
 from repro.workloads.spec import ScenarioArrays
 
 TimeModel = Literal["compute", "eq6"]
@@ -107,9 +108,15 @@ class FitnessKernel:
     def row(self, i: int) -> np.ndarray:
         """Per-VM time row for cloudlet ``i`` (matrix slice or memoised)."""
         if self._matrix is not None:
+            if _TEL.enabled:
+                _TEL.count("kernel.rows_requested")
+                _TEL.count("kernel.rows_memoised")
             return self._matrix[i]
         key = self._row_key(i)
         row = self._row_cache.get(key)
+        if _TEL.enabled:
+            _TEL.count("kernel.rows_requested")
+            _TEL.count("kernel.rows_computed" if row is None else "kernel.rows_memoised")
         if row is None:
             if self.time_model == "compute":
                 row = self.arrays.cloudlet_length[i] / self.capacity
@@ -145,6 +152,8 @@ class FitnessKernel:
     def makespan(self, assignment: np.ndarray) -> float:
         """Estimated makespan of one assignment (max VM load)."""
         self.evaluations += 1
+        if _TEL.enabled:
+            _TEL.count("kernel.evaluations")
         return float(self.loads_of(assignment).max())
 
     # -- batch (population) evaluation ---------------------------------------------
@@ -177,6 +186,8 @@ class FitnessKernel:
         """Estimated makespan per member of a ``(members, n)`` position block."""
         positions = np.asarray(positions, dtype=np.int64)
         self.evaluations += int(positions.shape[0])
+        if _TEL.enabled:
+            _TEL.count("kernel.evaluations", int(positions.shape[0]))
         loads = self.batch_loads(positions)
         if self.time_model == "compute":
             return (loads / self.capacity).max(axis=1)
@@ -192,6 +203,8 @@ class FitnessKernel:
         """
         positions = np.asarray(positions, dtype=np.int64)
         self.evaluations += int(positions.shape[0])
+        if _TEL.enabled:
+            _TEL.count("kernel.evaluations", int(positions.shape[0]))
         d = self.row(0)
         lengths = np.empty(positions.shape[0])
         for a in range(positions.shape[0]):
@@ -261,6 +274,8 @@ class IncrementalLoads:
             cand_argmax = self._argmax
         candidate = float(loads[cand_argmax])
         self.kernel.evaluations += 1
+        if _TEL.enabled:
+            _TEL.count("kernel.delta_proposed")
         self._pending = (i, old_vm, new_vm, saved_old, saved_new, cand_argmax, candidate)
         return candidate
 
@@ -273,6 +288,8 @@ class IncrementalLoads:
         self._argmax = cand_argmax
         self.makespan = candidate
         self._pending = None
+        if _TEL.enabled:
+            _TEL.count("kernel.delta_committed")
 
     def reject(self) -> None:
         """Undo the pending move, restoring the exact prior accumulators."""
@@ -282,6 +299,8 @@ class IncrementalLoads:
         self.loads[old_vm] = saved_old
         self.loads[new_vm] = saved_new
         self._pending = None
+        if _TEL.enabled:
+            _TEL.count("kernel.delta_rejected")
 
     def imbalance(self) -> float:
         """Current ``(max - min) / mean`` load imbalance."""

@@ -23,6 +23,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.obs.telemetry import TELEMETRY as _TEL
+
 
 @dataclass
 class ConvergenceTrace:
@@ -186,6 +188,16 @@ class IterativeOptimizer:
         self.record_every = record_every
 
     def run(self, rng: np.random.Generator) -> OptimizationOutcome:
+        with _TEL.span("optim.run"):
+            outcome = self._run(rng)
+        if _TEL.enabled:
+            # Batched after the loop so the disabled path stays counter-free
+            # and the enabled path costs two dict updates per run.
+            _TEL.count("optim.iterations", outcome.iterations)
+            _TEL.count("optim.evaluations", outcome.evaluations)
+        return outcome
+
+    def _run(self, rng: np.random.Generator) -> OptimizationOutcome:
         op = self.operator
         t0 = time.perf_counter()
         trace = ConvergenceTrace() if self.record_trace else None

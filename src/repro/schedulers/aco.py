@@ -63,6 +63,7 @@ from typing import Literal
 
 import numpy as np
 
+from repro.obs.telemetry import TELEMETRY as _TEL
 from repro.optim import Candidate, FitnessKernel, IterativeOptimizer, MoveOperator
 from repro.schedulers.base import (
     Scheduler,
@@ -180,9 +181,10 @@ class AntColonyScheduler(Scheduler):
         )
 
         operator = _ColonyOperator(self, context)
-        outcome = IterativeOptimizer(
-            operator, max_iterations=self.max_iterations, patience=self.patience
-        ).run(rng)
+        with _TEL.span("aco.schedule"):
+            outcome = IterativeOptimizer(
+                operator, max_iterations=self.max_iterations, patience=self.patience
+            ).run(rng)
         return SchedulingResult(
             assignment=outcome.assignment,
             scheduler_name=self.name,
@@ -230,10 +232,12 @@ class _ColonyOperator(MoveOperator):
         incumbent_fitness: float,
     ) -> Candidate:
         if self._last is not None:
-            self.state.update_pheromone(
-                *self._last, incumbent_assignment, incumbent_fitness
-            )
-        assignments, lengths = self.state.construct(rng)
+            with _TEL.span("aco.pheromone_update"):
+                self.state.update_pheromone(
+                    *self._last, incumbent_assignment, incumbent_fitness
+                )
+        with _TEL.span("aco.construct"):
+            assignments, lengths = self.state.construct(rng)
         self._last = (assignments, lengths)
         idx = int(np.argmin(lengths))
         return Candidate(

@@ -19,6 +19,7 @@ import math
 
 import numpy as np
 
+from repro.obs.telemetry import TELEMETRY as _TEL
 from repro.optim import Candidate, FitnessKernel, IncrementalLoads, IterativeOptimizer, MoveOperator
 from repro.schedulers.base import Scheduler, SchedulingContext, SchedulingResult
 
@@ -133,12 +134,15 @@ class SimulatedAnnealingScheduler(Scheduler):
             [self.seed, n, m]
         )
         operator = _AnnealingOperator(self, context)
-        outcome = IterativeOptimizer(
-            operator,
-            max_iterations=self.iterations,
-            max_evaluations=self.max_evaluations,
-            record_every=max(1, self.iterations // 200),
-        ).run(rng)
+        # No per-move span: one move is ~µs-scale, so the anneal is timed as
+        # a whole and the kernel's delta counters carry the per-move story.
+        with _TEL.span("annealing.anneal"):
+            outcome = IterativeOptimizer(
+                operator,
+                max_iterations=self.iterations,
+                max_evaluations=self.max_evaluations,
+                record_every=max(1, self.iterations // 200),
+            ).run(rng)
         return SchedulingResult(
             assignment=outcome.assignment,
             scheduler_name=self.name,

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.telemetry import TELEMETRY as _TEL
 from repro.optim import Candidate, FitnessKernel, IterativeOptimizer, MoveOperator
 from repro.schedulers.base import Scheduler, SchedulingContext, SchedulingResult
 
@@ -58,32 +59,34 @@ class _GaOperator(MoveOperator):
         p, n = population.shape
         m = self.context.num_vms
 
-        # Tournament selection (vectorised): p tournaments of size k.
-        entrants = rng.integers(0, p, size=(p, cfg.tournament_size))
-        winners = entrants[np.arange(p), np.argmin(fitness[entrants], axis=1)]
-        parents = population[winners]
+        with _TEL.span("ga.variation"):
+            # Tournament selection (vectorised): p tournaments of size k.
+            entrants = rng.integers(0, p, size=(p, cfg.tournament_size))
+            winners = entrants[np.arange(p), np.argmin(fitness[entrants], axis=1)]
+            parents = population[winners]
 
-        # Uniform crossover on consecutive pairs.
-        children = parents.copy()
-        pairs = p // 2
-        do_cross = rng.random(pairs) < cfg.crossover_rate
-        mask = rng.random((pairs, n)) < 0.5
-        a = children[0::2]
-        b = children[1::2]
-        swap = mask & do_cross[:, None]
-        a_swapped = np.where(swap, b, a)
-        b_swapped = np.where(swap, a, b)
-        children[0::2] = a_swapped
-        children[1::2] = b_swapped
+            # Uniform crossover on consecutive pairs.
+            children = parents.copy()
+            pairs = p // 2
+            do_cross = rng.random(pairs) < cfg.crossover_rate
+            mask = rng.random((pairs, n)) < 0.5
+            a = children[0::2]
+            b = children[1::2]
+            swap = mask & do_cross[:, None]
+            a_swapped = np.where(swap, b, a)
+            b_swapped = np.where(swap, a, b)
+            children[0::2] = a_swapped
+            children[1::2] = b_swapped
 
-        # Mutation.
-        mutate = rng.random((p, n)) < cfg.mutation_rate
-        if mutate.any():
-            children = np.where(
-                mutate, rng.integers(0, m, size=(p, n), dtype=np.int64), children
-            )
+            # Mutation.
+            mutate = rng.random((p, n)) < cfg.mutation_rate
+            if mutate.any():
+                children = np.where(
+                    mutate, rng.integers(0, m, size=(p, n), dtype=np.int64), children
+                )
 
-        child_fitness = self.kernel.batch_makespans(children)
+        with _TEL.span("ga.fitness"):
+            child_fitness = self.kernel.batch_makespans(children)
 
         # Elitism: keep the best `elitism` incumbents.
         if cfg.elitism:

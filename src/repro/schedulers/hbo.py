@@ -43,6 +43,7 @@ import heapq
 
 import numpy as np
 
+from repro.obs.telemetry import TELEMETRY as _TEL
 from repro.schedulers.base import Scheduler, SchedulingContext, SchedulingResult
 
 
@@ -87,17 +88,18 @@ class HoneyBeeScheduler(Scheduler):
 
         # Foragers: per-datacenter mean VM footprint priced with that
         # datacenter's unit costs — the (Size + M + BW) factor of Eq. 1.
-        unit_cost = np.full(q, np.inf)
-        for dc in range(q):
-            members = dc_vms[dc]
-            if members.size == 0:
-                continue
-            unit_cost[dc] = (
-                arr.vm_size[members].mean() * arr.dc_cost_per_storage[dc]
-                + arr.vm_ram[members].mean() * arr.dc_cost_per_mem[dc]
-                + arr.vm_bw[members].mean() * arr.dc_cost_per_bw[dc]
-            )
-        dc_rank = np.argsort(unit_cost, kind="stable")
+        with _TEL.span("hbo.forage"):
+            unit_cost = np.full(q, np.inf)
+            for dc in range(q):
+                members = dc_vms[dc]
+                if members.size == 0:
+                    continue
+                unit_cost[dc] = (
+                    arr.vm_size[members].mean() * arr.dc_cost_per_storage[dc]
+                    + arr.vm_ram[members].mean() * arr.dc_cost_per_mem[dc]
+                    + arr.vm_bw[members].mean() * arr.dc_cost_per_bw[dc]
+                )
+            dc_rank = np.argsort(unit_cost, kind="stable")
 
         # Scout state: per-datacenter backlog (expected seconds per VM).
         loads: list[np.ndarray] = [np.zeros(members.size) for members in dc_vms]
@@ -121,31 +123,32 @@ class HoneyBeeScheduler(Scheduler):
         spills = 0
 
         # Foraging: process cloudlet groups largest first (Alg. 1 lines 1-6).
-        groups = self._divide(n, q)
-        group_order = sorted(
-            range(len(groups)),
-            key=lambda g: float(arr.cloudlet_length[groups[g]].sum()),
-            reverse=True,
-        )
-        for g in group_order:
-            for cloudlet_idx in groups[g]:
-                dc = self._pick_datacenter(dc_rank, assigned_per_dc, cap, dc_vms)
-                if dc != dc_rank[0]:
-                    spills += 1
-                length = float(arr.cloudlet_length[cloudlet_idx])
-                if uniform[dc]:
-                    # Equal MIPS: the scout key orders identically to pure
-                    # backlog for every bias, so the heap stays exact.
-                    backlog, pos = heapq.heappop(heaps[dc])
-                    exec_seconds = length * inv_mips[dc][pos]
-                    heapq.heappush(heaps[dc], (backlog + exec_seconds, pos))
-                else:
-                    exec_seconds = length * inv_mips[dc]
-                    key = loads[dc] + self.scout_time_bias * exec_seconds
-                    pos = int(np.argmin(key))
-                    loads[dc][pos] += exec_seconds[pos]
-                assignment[cloudlet_idx] = dc_vms[dc][pos]
-                assigned_per_dc[dc] += 1
+        with _TEL.span("hbo.scout"):
+            groups = self._divide(n, q)
+            group_order = sorted(
+                range(len(groups)),
+                key=lambda g: float(arr.cloudlet_length[groups[g]].sum()),
+                reverse=True,
+            )
+            for g in group_order:
+                for cloudlet_idx in groups[g]:
+                    dc = self._pick_datacenter(dc_rank, assigned_per_dc, cap, dc_vms)
+                    if dc != dc_rank[0]:
+                        spills += 1
+                    length = float(arr.cloudlet_length[cloudlet_idx])
+                    if uniform[dc]:
+                        # Equal MIPS: the scout key orders identically to pure
+                        # backlog for every bias, so the heap stays exact.
+                        backlog, pos = heapq.heappop(heaps[dc])
+                        exec_seconds = length * inv_mips[dc][pos]
+                        heapq.heappush(heaps[dc], (backlog + exec_seconds, pos))
+                    else:
+                        exec_seconds = length * inv_mips[dc]
+                        key = loads[dc] + self.scout_time_bias * exec_seconds
+                        pos = int(np.argmin(key))
+                        loads[dc][pos] += exec_seconds[pos]
+                    assignment[cloudlet_idx] = dc_vms[dc][pos]
+                    assigned_per_dc[dc] += 1
 
         return SchedulingResult(
             assignment=assignment,

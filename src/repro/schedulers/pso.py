@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.telemetry import TELEMETRY as _TEL
 from repro.optim import Candidate, FitnessKernel, IterativeOptimizer, MoveOperator
 from repro.schedulers.base import (
     Scheduler,
@@ -39,6 +40,10 @@ class _PsoOperator(MoveOperator):
 
     def _fitness(self, positions: np.ndarray) -> np.ndarray:
         """Vectorised fitness of a (particles, n) position block (lower = better)."""
+        with _TEL.span("pso.fitness"):
+            return self._fitness_inner(positions)
+
+    def _fitness_inner(self, positions: np.ndarray) -> np.ndarray:
         cfg = self.cfg
         arr = self.context.arrays
         makespan = self.kernel.batch_makespans(positions)
@@ -91,18 +96,19 @@ class _PsoOperator(MoveOperator):
         cfg = self.cfg
         p, n = self.positions.shape
         m = self.context.num_vms
-        u = rng.random((p, n))
-        take_pbest = u < self._p_pbest
-        take_gbest = (u >= self._p_pbest) & (u < self._p_pbest + self._p_gbest)
-        positions = np.where(take_pbest, self.pbest, self.positions)
-        positions = np.where(
-            take_gbest, np.broadcast_to(incumbent_assignment, (p, n)), positions
-        )
-        mutate = rng.random((p, n)) < cfg.mutation_rate
-        if mutate.any():
+        with _TEL.span("pso.position_update"):
+            u = rng.random((p, n))
+            take_pbest = u < self._p_pbest
+            take_gbest = (u >= self._p_pbest) & (u < self._p_pbest + self._p_gbest)
+            positions = np.where(take_pbest, self.pbest, self.positions)
             positions = np.where(
-                mutate, rng.integers(0, m, size=(p, n), dtype=np.int64), positions
+                take_gbest, np.broadcast_to(incumbent_assignment, (p, n)), positions
             )
+            mutate = rng.random((p, n)) < cfg.mutation_rate
+            if mutate.any():
+                positions = np.where(
+                    mutate, rng.integers(0, m, size=(p, n), dtype=np.int64), positions
+                )
         fitness = self._fitness(positions)
         improved = fitness < self.pbest_fit
         self.pbest[improved] = positions[improved]

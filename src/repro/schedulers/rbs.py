@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.telemetry import TELEMETRY as _TEL
 from repro.schedulers.base import Scheduler, SchedulingContext, SchedulingResult
 
 
@@ -74,29 +75,32 @@ class RandomBiasedSamplingScheduler(Scheduler):
         # Steps 3-7 per cloudlet.
         omegas = rng.integers(1, q + 1, size=n).tolist()
         starts = rng.integers(0, q, size=n).tolist()
-        for i in range(n):
-            omega = omegas[i]
-            g = starts[i]
-            # Walk until the execution test passes on a group with capacity.
-            # The threshold of group g is g+1; after at most q hops omega
-            # exceeds every threshold, so only capacity forces further hops,
-            # and NIDs replenish when the whole fleet is drained.
-            if free_total == 0:
-                nid = list(group_sizes)
-                free_total = sum(group_sizes)
-            while not (omega > g and nid[g] > 0):  # omega >= threshold == g+1
-                omega += 1
-                g += 1
-                if g == q:
-                    g = 0
-                walks_total += 1
-            members = groups[g]
-            c = cursor[g]
-            vm_idx = members[c]
-            cursor[g] = c + 1 if c + 1 < len(members) else 0
-            nid[g] -= 1
-            free_total -= 1
-            assignment[i] = vm_idx
+        with _TEL.span("rbs.walk"):
+            for i in range(n):
+                omega = omegas[i]
+                g = starts[i]
+                # Walk until the execution test passes on a group with capacity.
+                # The threshold of group g is g+1; after at most q hops omega
+                # exceeds every threshold, so only capacity forces further hops,
+                # and NIDs replenish when the whole fleet is drained.
+                if free_total == 0:
+                    nid = list(group_sizes)
+                    free_total = sum(group_sizes)
+                while not (omega > g and nid[g] > 0):  # omega >= threshold == g+1
+                    omega += 1
+                    g += 1
+                    if g == q:
+                        g = 0
+                    walks_total += 1
+                members = groups[g]
+                c = cursor[g]
+                vm_idx = members[c]
+                cursor[g] = c + 1 if c + 1 < len(members) else 0
+                nid[g] -= 1
+                free_total -= 1
+                assignment[i] = vm_idx
+        if _TEL.enabled:
+            _TEL.count("rbs.walk_hops", walks_total)
 
         return SchedulingResult(
             assignment=assignment,

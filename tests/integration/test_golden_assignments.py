@@ -83,6 +83,20 @@ def cells():
     }
 
 
+@pytest.fixture(params=[False, True], ids=["telemetry-off", "telemetry-on"])
+def telemetry_state(request):
+    """Run the pinned decisions with telemetry both disabled and enabled.
+
+    The observability layer's hard contract: recording spans/counters must
+    never change an assignment — instrumentation only observes, it never
+    draws randomness or reorders arithmetic.
+    """
+    from repro import obs
+
+    with obs.enabled(request.param):
+        yield request.param
+
+
 def _digits(assignment) -> str:
     return "".join(str(v) for v in assignment)
 
@@ -92,7 +106,7 @@ def _digits(assignment) -> str:
     sorted(GOLDEN_ASSIGNMENTS),
     ids=[f"{c}-{n}-{s}" for c, n, s in sorted(GOLDEN_ASSIGNMENTS)],
 )
-def test_golden_assignment_unchanged(cells, cell, name, seed):
+def test_golden_assignment_unchanged(cells, telemetry_state, cell, name, seed):
     context = SchedulingContext.from_scenario(cells[cell], seed=seed)
     scheduler = make_scheduler(name, **LIGHT_KWARGS[name])
     result = scheduler.schedule_checked(context)
@@ -104,7 +118,7 @@ def test_golden_assignment_unchanged(cells, cell, name, seed):
     sorted(GOLDEN_ACO_VARIANTS),
     ids=[f"{c}-{v}-{s}" for c, v, s in sorted(GOLDEN_ACO_VARIANTS)],
 )
-def test_golden_aco_variant_unchanged(cells, cell, variant, seed):
+def test_golden_aco_variant_unchanged(cells, telemetry_state, cell, variant, seed):
     context = SchedulingContext.from_scenario(cells[cell], seed=seed)
     scheduler = AntColonyScheduler(**ACO_VARIANT_KWARGS[variant])
     result = scheduler.schedule_checked(context)

@@ -1,0 +1,21 @@
+"""Telemetry state isolation for the observability tests.
+
+The registry is process-global, so every test here starts from a clean,
+disabled registry and leaves one behind — no test can poison another (or
+the rest of the suite) through leftover spans or a stuck enabled flag.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.telemetry import TELEMETRY
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    TELEMETRY.reset()
+    TELEMETRY.disable()
+    yield
+    TELEMETRY.reset()
+    TELEMETRY.disable()

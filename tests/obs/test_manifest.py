@@ -1,0 +1,95 @@
+"""Unit tests for run manifests: capture, determinism, round-trip."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._version import __version__
+from repro.obs.manifest import RunManifest, capture_manifest, scheduler_params
+from repro.schedulers.aco import AntColonyScheduler
+from repro.workloads.heterogeneous import heterogeneous_scenario
+
+
+class TestCapture:
+    def test_environment_fields(self):
+        manifest = capture_manifest(seed=7, engine="des")
+        assert manifest.package_version == __version__
+        assert manifest.numpy_version == np.__version__
+        assert manifest.python_version
+        assert manifest.platform
+        assert manifest.hostname
+        assert manifest.seed == 7
+        assert manifest.engine == "des"
+
+    def test_scenario_summary(self):
+        scenario = heterogeneous_scenario(4, 12, seed=42)
+        manifest = capture_manifest(scenario=scenario)
+        assert manifest.scenario["num_vms"] == 4
+        assert manifest.scenario["num_cloudlets"] == 12
+        assert manifest.scenario["seed"] == 42
+        assert manifest.scenario["name"] == scenario.name
+
+    def test_scheduler_summary(self):
+        scheduler = AntColonyScheduler(num_ants=5, max_iterations=2)
+        manifest = capture_manifest(scheduler=scheduler)
+        assert manifest.scheduler["class"] == "AntColonyScheduler"
+        params = manifest.scheduler["params"]
+        assert params["num_ants"] == 5
+        assert params["max_iterations"] == 2
+
+    def test_extra_kwargs_land_in_extra(self):
+        manifest = capture_manifest(experiment="fig6a", preset="quick", workers=None)
+        assert manifest.extra == {
+            "experiment": "fig6a",
+            "preset": "quick",
+            "workers": None,
+        }
+
+
+class TestDeterminism:
+    def test_no_timestamp_by_default(self):
+        assert capture_manifest(seed=0).captured_at is None
+
+    def test_captures_are_bit_comparable(self):
+        scenario = heterogeneous_scenario(4, 12, seed=42)
+        scheduler = AntColonyScheduler(num_ants=5, max_iterations=2)
+        a = capture_manifest(scenario=scenario, scheduler=scheduler, seed=1, engine="des")
+        b = capture_manifest(scenario=scenario, scheduler=scheduler, seed=1, engine="des")
+        assert a == b
+        assert a.to_dict() == b.to_dict()
+
+    def test_timestamp_opt_in(self):
+        manifest = capture_manifest(timestamp=True)
+        assert manifest.captured_at is not None
+        # ISO-8601 with explicit UTC offset
+        assert "T" in manifest.captured_at
+        assert manifest.captured_at.endswith("+00:00")
+
+
+class TestRoundTrip:
+    def test_to_from_dict(self):
+        scenario = heterogeneous_scenario(4, 12, seed=42)
+        scheduler = AntColonyScheduler(num_ants=5, max_iterations=2)
+        manifest = capture_manifest(
+            scenario=scenario, scheduler=scheduler, seed=1, engine="des", note="x"
+        )
+        assert RunManifest.from_dict(manifest.to_dict()) == manifest
+
+    def test_from_dict_ignores_unknown_keys(self):
+        manifest = RunManifest.from_dict({"seed": 3, "kind": "manifest", "bogus": 1})
+        assert manifest.seed == 3
+
+
+class TestSchedulerParams:
+    def test_drops_private_and_unserialisable(self):
+        class Fake:
+            def __init__(self):
+                self.alpha = 1.5
+                self.name = "fake"
+                self.count = np.int64(4)
+                self._secret = "hidden"
+                self.matrix = np.zeros((2, 2))  # not JSON-safe -> dropped
+
+        params = scheduler_params(Fake())
+        assert params == {"alpha": 1.5, "name": "fake", "count": 4}
+        assert isinstance(params["count"], int)

@@ -1,0 +1,200 @@
+"""Unit tests for the span/counter/gauge registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.telemetry import (
+    TELEMETRY,
+    SpanStat,
+    Telemetry,
+    TelemetrySnapshot,
+    _NULL_SPAN,
+)
+from repro.obs import telemetry as tel
+
+
+class TestDisabledNoOp:
+    def test_snapshot_empty_after_instrumented_ops(self):
+        with tel.span("outer"):
+            with tel.span("outer/inner"):
+                tel.count("things", 5)
+                tel.gauge("level", 1.5)
+        snap = tel.snapshot()
+        assert snap.is_empty
+        assert snap.spans == {}
+        assert snap.counters == {}
+        assert snap.gauges == {}
+
+    def test_span_returns_shared_null_singleton(self):
+        assert tel.span("a") is _NULL_SPAN
+        assert tel.span("b") is _NULL_SPAN
+        assert TELEMETRY.span("c") is _NULL_SPAN
+
+    def test_null_span_swallows_nothing(self):
+        with pytest.raises(RuntimeError):
+            with tel.span("a"):
+                raise RuntimeError("propagates")
+
+
+class TestSpans:
+    def test_hierarchical_paths(self):
+        with tel.enabled():
+            with tel.span("run"):
+                with tel.span("phase_a"):
+                    pass
+                with tel.span("phase_b"):
+                    with tel.span("leaf"):
+                        pass
+        snap = tel.snapshot()
+        assert sorted(snap.spans) == [
+            "run",
+            "run/phase_a",
+            "run/phase_b",
+            "run/phase_b/leaf",
+        ]
+
+    def test_repeated_spans_aggregate(self):
+        with tel.enabled():
+            for _ in range(4):
+                with tel.span("tick"):
+                    pass
+        stat = tel.snapshot().spans["tick"]
+        assert stat.count == 4
+        assert stat.total_s >= 0.0
+        assert stat.mean_s == pytest.approx(stat.total_s / 4)
+
+    def test_span_pops_stack_on_exception(self):
+        with tel.enabled():
+            with pytest.raises(ValueError):
+                with tel.span("outer"):
+                    raise ValueError("body failed")
+            # stack must be balanced: a sibling span is root-level again
+            with tel.span("sibling"):
+                pass
+        snap = tel.snapshot()
+        assert "outer" in snap.spans
+        assert "sibling" in snap.spans
+        assert "outer/sibling" not in snap.spans
+
+    def test_sibling_instances_do_not_share_paths(self):
+        registry = Telemetry()
+        registry.enable()
+        with registry.span("a"):
+            pass
+        assert "a" in registry.snapshot().spans
+        assert "a" not in TELEMETRY.snapshot().spans
+
+
+class TestCountersAndGauges:
+    def test_counters_accumulate(self):
+        with tel.enabled():
+            tel.count("n")
+            tel.count("n", 4)
+            tel.count("m", 2)
+        snap = tel.snapshot()
+        assert snap.counters == {"n": 5, "m": 2}
+
+    def test_gauge_latest_write_wins(self):
+        with tel.enabled():
+            tel.gauge("temp", 1.0)
+            tel.gauge("temp", 0.25)
+        assert tel.snapshot().gauges == {"temp": 0.25}
+
+    def test_reset_preserves_enabled_flag(self):
+        tel.enable()
+        tel.count("n")
+        tel.reset()
+        assert tel.is_enabled()
+        assert tel.snapshot().is_empty
+        tel.disable()
+
+
+class TestEnabledContext:
+    def test_restores_prior_state(self):
+        assert not tel.is_enabled()
+        with tel.enabled():
+            assert tel.is_enabled()
+            with tel.enabled(False):
+                assert not tel.is_enabled()
+            assert tel.is_enabled()
+        assert not tel.is_enabled()
+
+    def test_restores_on_exception(self):
+        with pytest.raises(KeyError):
+            with tel.enabled():
+                raise KeyError("boom")
+        assert not tel.is_enabled()
+
+
+class TestSnapshotAlgebra:
+    def test_diff_isolates_region(self):
+        with tel.enabled():
+            tel.count("n", 3)
+            with tel.span("warmup"):
+                pass
+            before = tel.snapshot()
+            tel.count("n", 2)
+            tel.count("fresh", 1)
+            with tel.span("warmup"):
+                pass
+            with tel.span("work"):
+                pass
+            delta = tel.snapshot().diff(before)
+        assert delta.counters == {"n": 2, "fresh": 1}
+        assert delta.spans["warmup"].count == 1
+        assert delta.spans["work"].count == 1
+
+    def test_diff_of_identical_snapshots_is_empty(self):
+        with tel.enabled():
+            tel.count("n", 3)
+            with tel.span("a"):
+                pass
+        snap = tel.snapshot()
+        assert snap.diff(snap).is_empty
+
+    def test_merge_sums_spans_and_counters(self):
+        a = TelemetrySnapshot(
+            spans={"x": SpanStat(2, 1.0)}, counters={"n": 3}, gauges={"g": 1.0}
+        )
+        b = TelemetrySnapshot(
+            spans={"x": SpanStat(1, 0.5), "y": SpanStat(1, 0.25)},
+            counters={"n": 4, "m": 1},
+            gauges={"g": 2.0},
+        )
+        merged = a.merge(b)
+        assert merged.spans["x"].count == 3
+        assert merged.spans["x"].total_s == pytest.approx(1.5)
+        assert merged.spans["y"].count == 1
+        assert merged.counters == {"n": 7, "m": 1}
+        assert merged.gauges == {"g": 2.0}  # other wins
+        # merge must not mutate its inputs
+        assert a.spans["x"].count == 2
+        assert a.counters == {"n": 3}
+
+    def test_merge_snapshot_folds_into_registry(self):
+        worker = TelemetrySnapshot(
+            spans={"cell": SpanStat(5, 2.0)}, counters={"rows": 10}
+        )
+        with tel.enabled():
+            tel.count("rows", 1)
+            TELEMETRY.merge_snapshot(worker)
+            snap = tel.snapshot()
+        assert snap.counters["rows"] == 11
+        assert snap.spans["cell"].count == 5
+
+    def test_to_dict_round_trip(self):
+        with tel.enabled():
+            with tel.span("a"):
+                with tel.span("b"):
+                    pass
+            tel.count("n", 7)
+            tel.gauge("g", 0.5)
+        snap = tel.snapshot()
+        restored = TelemetrySnapshot.from_dict(snap.to_dict())
+        assert restored.counters == snap.counters
+        assert restored.gauges == snap.gauges
+        assert sorted(restored.spans) == sorted(snap.spans)
+        for path, stat in snap.spans.items():
+            assert restored.spans[path].count == stat.count
+            assert restored.spans[path].total_s == pytest.approx(stat.total_s)

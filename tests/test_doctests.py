@@ -16,6 +16,11 @@ MODULES_WITH_EXAMPLES = [
     "repro",
     "repro.core.engine",
     "repro.core.rng",
+    "repro.obs",
+    "repro.obs.telemetry",
+    "repro.obs.manifest",
+    "repro.obs.export",
+    "repro.optim",
     "repro.workloads.synthetic",
     "repro.experiments.profiling",
     "repro.analysis.report_md",

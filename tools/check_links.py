@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Check relative links in the project's markdown documentation.
+
+Stdlib-only, used by the CI docs job::
+
+    python tools/check_links.py README.md EXPERIMENTS.md docs/*.md
+
+For every ``[text](target)`` link in the given files, verifies that a
+relative ``target`` exists on disk (resolved against the linking file's
+directory, with ``#anchors`` stripped).  External schemes
+(``http(s)://``, ``mailto:``) and pure in-page anchors are skipped —
+this guards the repo's internal cross-references, not the web.
+
+Exits 1 and lists every broken link if any target is missing.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: [text](target) — target must not itself contain parentheses/whitespace.
+_LINK = re.compile(r"\[[^\]]*\]\(([^()\s]+)\)")
+#: schemes we never resolve locally.
+_EXTERNAL = ("http://", "https://", "mailto:")
+#: fenced code blocks are documentation *examples*, not navigation.
+_FENCE = re.compile(r"^(```|~~~)")
+
+
+def iter_links(path: Path):
+    """Yield (line_number, raw_target) for each local link in ``path``."""
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            yield lineno, target
+
+
+def check_file(path: Path) -> list[str]:
+    """Broken-link messages for one markdown file."""
+    problems = []
+    for lineno, target in iter_links(path):
+        local = target.split("#", 1)[0]
+        if not local:
+            continue
+        resolved = (path.parent / local).resolve()
+        if not resolved.exists():
+            problems.append(f"{path}:{lineno}: broken link -> {target}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    problems: list[str] = []
+    checked = 0
+    for name in argv:
+        path = Path(name)
+        if not path.is_file():
+            problems.append(f"{path}: file not found")
+            continue
+        checked += 1
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {checked} file(s): {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
