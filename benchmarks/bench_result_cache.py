@@ -1,0 +1,77 @@
+"""Result cache: warm fig6b sweep vs cold, and the ≥5× replay contract.
+
+The acceptance bar for the cache is concrete: a warm re-run of the
+fig6b heterogeneous scheduling-time sweep against a populated cache must
+be at least 5× faster than the cold run, with records bit-identical to
+the cold run's (wall-clock fields included — a hit replays the cold
+run's measured value).  ``test_warm_sweep_speedup`` pins exactly that;
+the two pytest-benchmark cases report the cold and warm wall clocks for
+the benchmark dashboard.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cache import ResultCache
+from repro.experiments.figures import get_experiment
+from repro.experiments.runner import run_sweep
+
+
+def _fig6b_sweep_kwargs():
+    definition = get_experiment("fig6b")
+    config = definition.config("quick")
+    return dict(
+        scenario_factory=definition.scenario_factory(),
+        scheduler_factories=config.make_schedulers(definition.schedulers),
+        vm_counts=config.vm_counts,
+        num_cloudlets=config.num_cloudlets,
+        seeds=config.seeds,
+        engine=definition.engine,
+    )
+
+
+def test_warm_sweep_speedup(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    kwargs = _fig6b_sweep_kwargs()
+
+    t0 = time.perf_counter()
+    cold = run_sweep(**kwargs, cache=cache)
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = run_sweep(**kwargs, cache=cache)
+    warm_s = time.perf_counter() - t0
+
+    assert warm == cold  # byte-equal records, wall clock included
+    assert cache.misses == len(cold) and cache.hits == len(cold)
+    assert warm_s * 5 <= cold_s, (
+        f"warm sweep not ≥5× faster: cold={cold_s:.3f}s warm={warm_s:.3f}s"
+    )
+
+
+def test_cold_sweep(benchmark, tmp_path):
+    kwargs = _fig6b_sweep_kwargs()
+
+    def cold():
+        # A fresh directory per round keeps every timing genuinely cold.
+        root = tmp_path / f"cold-{time.monotonic_ns()}"
+        return run_sweep(**kwargs, cache=ResultCache(root))
+
+    records = benchmark.pedantic(cold, rounds=2, iterations=1)
+    benchmark.extra_info["cells"] = len(records)
+
+
+def test_warm_sweep(benchmark, tmp_path):
+    cache = ResultCache(tmp_path / "warm")
+    kwargs = _fig6b_sweep_kwargs()
+    cold = run_sweep(**kwargs, cache=cache)
+
+    records = benchmark.pedantic(
+        lambda: run_sweep(**kwargs, cache=cache), rounds=3, iterations=1
+    )
+    assert records == cold
+    benchmark.extra_info["cells"] = len(records)
+    benchmark.extra_info["hits"] = cache.hits

@@ -1,0 +1,58 @@
+"""Manifest-keyed result cache for incremental, resumable sweeps.
+
+:class:`ResultCache` persists :class:`~repro.cloud.simulation.SimulationResult`
+objects on disk, addressed by the SHA-256 fingerprint of their
+:class:`~repro.obs.manifest.RunManifest` (scenario spec + scheduler
+params + seed + engine + package version — host and timestamps never
+contribute).  The experiment stack threads it through
+:func:`repro.experiments.runner.run_point` /
+:func:`~repro.experiments.runner.run_sweep` (``cache=``) and the CLI
+(``--cache-dir`` / ``--no-cache`` / the ``cache`` subcommand), so
+regenerating a figure recomputes only the (scheduler × scale × seed)
+cells that changed.  ``docs/performance.md`` documents the entry
+layout, key derivation and invalidation rules.
+
+Example — a miss computes, a hit replays the identical result::
+
+    >>> import tempfile
+    >>> from repro.cache import ResultCache
+    >>> from repro.experiments.runner import run_point
+    >>> from repro.schedulers import RoundRobinScheduler
+    >>> from repro.workloads.heterogeneous import heterogeneous_scenario
+    >>> scenario = heterogeneous_scenario(4, 12, seed=0)
+    >>> with tempfile.TemporaryDirectory() as root:
+    ...     cache = ResultCache(root)
+    ...     key = cache.key_for(scenario, RoundRobinScheduler(), seed=0, engine="fast")
+    ...     before = cache.get(key)                      # cold: a miss
+    ...     result = run_point(scenario, RoundRobinScheduler(), seed=0, engine="fast")
+    ...     _ = cache.put(key, result)
+    ...     again = cache.get(key)                       # warm: a hit
+    >>> before is None
+    True
+    >>> (again.makespan, again.scheduling_time) == (result.makespan, result.scheduling_time)
+    True
+    >>> cache.hits, cache.misses
+    (1, 1)
+
+The key is stable across processes and hosts — it never includes
+wall-clock state — so caches can be shared, rsynced, and reused between
+serial and ``--workers N`` sweeps interchangeably.
+"""
+
+from repro.cache.store import (
+    ENTRY_FORMAT_VERSION,
+    CacheStats,
+    PruneReport,
+    ResultCache,
+    cache_key_manifest,
+    scenario_digest,
+)
+
+__all__ = [
+    "ENTRY_FORMAT_VERSION",
+    "CacheStats",
+    "PruneReport",
+    "ResultCache",
+    "cache_key_manifest",
+    "scenario_digest",
+]

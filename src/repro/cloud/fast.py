@@ -134,8 +134,15 @@ class FastSimulation:
             else:
                 start = np.empty_like(exec_times)
                 finish = np.empty_like(exec_times)
-                for vm_idx in np.unique(assignment):
-                    members = np.flatnonzero(assignment == vm_idx)
+                # One stable argsort groups members per VM in submission
+                # order — O(n log n) total, instead of rescanning the full
+                # assignment for every VM (O(V·n)).
+                order = np.argsort(assignment, kind="stable")
+                boundaries = np.flatnonzero(np.diff(assignment[order])) + 1
+                for members in np.split(order, boundaries):
+                    if members.size == 0:
+                        continue
+                    vm_idx = int(assignment[members[0]])
                     s, f = multi_pe_fifo_times(
                         members, exec_times[members], int(arr.vm_pes[vm_idx])
                     )

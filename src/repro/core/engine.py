@@ -103,6 +103,11 @@ class Simulation:
         """Number of events delivered so far."""
         return self._events_processed
 
+    @property
+    def finished(self) -> bool:
+        """True once the event list drained and shutdown hooks have fired."""
+        return self._finished
+
     def schedule(
         self,
         *,
@@ -135,6 +140,19 @@ class Simulation:
         return len(self._queue)
 
     # -- run loop -------------------------------------------------------------
+
+    def _finalize(self) -> None:
+        """Terminate a drained simulation: flip state, fire shutdown hooks.
+
+        Idempotent — :meth:`run` and :meth:`step` both funnel through here,
+        so hooks fire exactly once no matter how the drain was reached.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        self._running = False
+        for entity in self._entities:
+            entity.shutdown()
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
         """Run the event loop.
@@ -175,18 +193,23 @@ class Simulation:
             delivered += 1
         else:
             # Event list drained completely: simulation is over.
-            self._finished = True
-            self._running = False
-            for entity in self._entities:
-                entity.shutdown()
+            self._finalize()
         if _TEL.enabled and delivered:
             # Batched once per run() call, not per event, to keep the loop hot.
             _TEL.count("core.events_dispatched", delivered)
         return self._clock
 
     def step(self) -> Event | None:
-        """Deliver exactly one event; returns it (or ``None`` if drained)."""
+        """Deliver exactly one event; returns it (or ``None`` if drained).
+
+        Termination matches :meth:`run`: the step that drains the event
+        list (and a drained call on a started simulation) finalizes —
+        ``_finished`` flips, ``_running`` clears and entity ``shutdown()``
+        hooks fire, exactly once.
+        """
         if not self._queue:
+            if self._started:
+                self._finalize()
             return None
         self._running = True
         if not self._started:
@@ -199,6 +222,8 @@ class Simulation:
             self.trace_log.append(event)
         self._entities[event.dst].process_event(event)
         self._events_processed += 1
+        if not self._queue:
+            self._finalize()
         return event
 
 

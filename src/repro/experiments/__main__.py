@@ -7,6 +7,8 @@ Examples
     python -m repro.experiments fig6a --preset quick
     python -m repro.experiments all --preset scaled --out results/ -v
     python -m repro.experiments fig6a --telemetry --out results/
+    python -m repro.experiments fig6b --cache-dir .repro-cache
+    python -m repro.experiments cache stats --cache-dir .repro-cache
     python -m repro.experiments report results/
     python -m repro.experiments list
 """
@@ -34,7 +36,7 @@ def build_parser() -> argparse.ArgumentParser:
         "target",
         help=(
             "figure id (fig4a-fig5b, fig6a-fig6d), extension id (ext-*), "
-            "'compare', 'report', 'all', or 'list'"
+            "'compare', 'report', 'cache', 'all', or 'list'"
         ),
     )
     parser.add_argument(
@@ -44,7 +46,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "for target 'report': a run JSON (SimulationResult.save), a "
-            "telemetry JSONL, or a sweep directory (default: --out)"
+            "telemetry JSONL, or a sweep directory (default: --out); for "
+            "target 'cache': the action — stats (default), prune, or verify"
         ),
     )
     compare = parser.add_argument_group("compare options (target 'compare')")
@@ -82,6 +85,27 @@ def build_parser() -> argparse.ArgumentParser:
             "worker processes for the sweep grid (default: serial); "
             "records are bit-identical to a serial run"
         ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help=(
+            "content-addressed result cache directory: figure sweeps replay "
+            "previously computed (scheduler, scale, seed) cells from disk "
+            "and compute only the missing ones (see docs/performance.md)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir for this invocation (always recompute)",
+    )
+    parser.add_argument(
+        "--max-mb",
+        type=float,
+        default=None,
+        help="for 'cache prune': evict oldest entries down to this size",
     )
     parser.add_argument(
         "--telemetry",
@@ -174,6 +198,47 @@ def _report_one(path: Path) -> bool:
     return False
 
 
+def run_cache(args) -> int:
+    """Inspect or maintain a result cache (stats / prune / verify)."""
+    from repro.cache import ResultCache
+
+    if args.cache_dir is None:
+        print("target 'cache' requires --cache-dir", file=sys.stderr)
+        return 2
+    action = str(args.path) if args.path is not None else "stats"
+    if action not in ("stats", "prune", "verify"):
+        print(
+            f"unknown cache action {action!r}; expected stats, prune or verify",
+            file=sys.stderr,
+        )
+        return 2
+    cache = ResultCache(args.cache_dir)
+    if action == "stats":
+        stats = cache.stats()
+        print(f"cache: {cache.root}")
+        print(f"entries:     {stats.entries}")
+        print(f"total bytes: {stats.total_bytes} ({stats.total_bytes / 1e6:.2f} MB)")
+        for version, count in sorted(stats.by_version.items()):
+            print(f"  version {version}: {count} entr{'y' if count == 1 else 'ies'}")
+        return 0
+    if action == "prune":
+        max_bytes = int(args.max_mb * 1e6) if args.max_mb is not None else None
+        report = cache.prune(max_bytes=max_bytes)
+        print(
+            f"pruned {report.removed} entr{'y' if report.removed == 1 else 'ies'}, "
+            f"freed {report.freed_bytes} bytes"
+        )
+        return 0
+    problems = cache.verify()
+    if not problems:
+        print(f"cache {cache.root}: all {len(cache)} entries verify")
+        return 0
+    for key, reason in problems:
+        print(f"{key}: {reason}")
+    print(f"({len(problems)} problem(s) found)", file=sys.stderr)
+    return 1
+
+
 def run_report(args) -> int:
     """Render telemetry/manifest reports for a run file or sweep directory."""
     path = args.path if args.path is not None else args.out
@@ -209,6 +274,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_compare(args)
     if args.target == "report":
         return run_report(args)
+    if args.target == "cache":
+        return run_cache(args)
     if args.target == "list":
         for experiment_id, definition in sorted(EXPERIMENTS.items()):
             print(f"{experiment_id:10s} {definition.title}")
@@ -225,26 +292,44 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiment(s) {unknown}; try 'list'", file=sys.stderr)
         return 2
 
+    cache = None
+    if args.cache_dir is not None and not args.no_cache:
+        from repro.cache import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+
     if args.telemetry:
         obs.enable()
     progress = print if args.verbose else None
     for target in targets:
         telemetry_before = obs.snapshot() if args.telemetry else None
+        hits_before = (cache.hits, cache.misses) if cache is not None else (0, 0)
         t0 = time.perf_counter()
         if target in EXTENSION_EXPERIMENTS:
             if args.workers and args.workers > 1:
                 print(f"note: {target} is an extension experiment; running serially")
+            if cache is not None:
+                print(f"note: {target} is an extension experiment; cache not used")
             data = EXTENSION_EXPERIMENTS[target](args.preset)
         else:
             data = run_experiment(
-                target, preset=args.preset, progress=progress, workers=args.workers
+                target,
+                preset=args.preset,
+                progress=progress,
+                workers=args.workers,
+                cache=cache,
             )
         elapsed = time.perf_counter() - t0
         # Scheduling-time figures span decades; log scale reads better.
         logy = args.logy or target.startswith("fig5") or target == "fig6b"
         print(render_figure(data, logy=logy))
         path = save_figure(data, args.out)
-        print(f"(swept in {elapsed:.1f}s; CSV written to {path})\n")
+        print(f"(swept in {elapsed:.1f}s; CSV written to {path})")
+        if cache is not None and target in EXPERIMENTS:
+            hits = cache.hits - hits_before[0]
+            misses = cache.misses - hits_before[1]
+            print(f"(cache: {hits} hit(s), {misses} miss(es) at {cache.root})")
+        print()
         if telemetry_before is not None:
             snapshot = obs.snapshot().diff(telemetry_before)
             manifest = obs.capture_manifest(

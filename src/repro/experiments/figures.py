@@ -279,12 +279,16 @@ def run_experiment(
     preset: Preset | str = Preset.QUICK,
     progress: Callable[[str], None] | None = None,
     workers: int | None = None,
+    cache=None,
 ) -> FigureData:
     """Execute one paper figure's sweep and aggregate it.
 
     ``workers`` is forwarded to :func:`repro.experiments.runner.run_sweep`:
     ``None``/0/1 runs serially, ``N >= 2`` fans the sweep cells out over
-    ``N`` worker processes with bit-identical records.
+    ``N`` worker processes with bit-identical records.  ``cache`` (a
+    :class:`repro.cache.ResultCache` or directory path) makes the sweep
+    incremental: previously computed (scheduler, scale, seed) cells replay
+    from disk and only the missing ones run.
     """
     definition = get_experiment(experiment_id)
     config = definition.config(preset)
@@ -297,6 +301,7 @@ def run_experiment(
         engine=definition.engine,
         progress=progress,
         workers=workers,
+        cache=cache,
     )
     return aggregate(definition, records, list(config.vm_counts))
 

@@ -14,6 +14,15 @@ returns rows bit-identical to the serial path (modulo the wall-clock
 ``scheduling_time`` field).  Worker processes use the ``spawn`` start
 method, which requires the factories to be picklable — module-level
 functions or dataclass instances, not lambdas or closures.
+
+Both :func:`run_point` and :func:`run_sweep` accept ``cache=`` — a
+:class:`repro.cache.ResultCache` (or just a directory path) — for
+incremental re-runs: each (scheduler, cell) is keyed by its manifest
+fingerprint, hits replay the cold run's result bit-identically (including
+its recorded wall-clock ``scheduling_time``), and only the missing cells
+compute.  Under ``workers=N`` the parent resolves hits *before*
+dispatching, so a warm sweep ships nothing to the pool and a partially
+warm sweep ships only the missing (scheduler, cell) pairs.
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ import multiprocessing
 from dataclasses import dataclass
 from typing import Callable, Iterable, Literal
 
+from repro.cache import ResultCache, cache_key_manifest
 from repro.cloud.fast import FastSimulation
 from repro.cloud.simulation import CloudSimulation, SimulationResult
 from repro.obs.telemetry import TELEMETRY, TelemetrySnapshot
@@ -77,13 +87,34 @@ def run_point(
     scheduler: Scheduler,
     seed: int,
     engine: Engine = "des",
+    cache: "ResultCache | str | None" = None,
 ) -> SimulationResult:
-    """Execute one (scenario, scheduler) cell on the chosen engine."""
+    """Execute one (scenario, scheduler) cell on the chosen engine.
+
+    With ``cache`` (a :class:`repro.cache.ResultCache` or a directory
+    path), the cell is first looked up by its manifest fingerprint; a hit
+    replays the stored result — bit-identical to a recomputation except
+    that wall-clock fields carry the *cold* run's measured values — and a
+    miss computes, stores, and returns.  The key is derived before the
+    scheduler runs, so mutable scheduler state never leaks into it.
+    """
+    cache = ResultCache.coerce(cache)
+    key = manifest = None
+    if cache is not None:
+        manifest = cache_key_manifest(scenario, scheduler, seed, engine)
+        key = manifest.fingerprint()
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
     if engine == "des":
-        return CloudSimulation(scenario, scheduler, seed=seed).run()
-    if engine == "fast":
-        return FastSimulation(scenario, scheduler, seed=seed).run()
-    raise ValueError(f"unknown engine {engine!r}")
+        result = CloudSimulation(scenario, scheduler, seed=seed).run()
+    elif engine == "fast":
+        result = FastSimulation(scenario, scheduler, seed=seed).run()
+    else:
+        raise ValueError(f"unknown engine {engine!r}")
+    if cache is not None:
+        cache.put(key, result, manifest)
+    return result
 
 
 def _run_cell(
@@ -93,18 +124,21 @@ def _run_cell(
     num_cloudlets: int,
     seed: int,
     engine: Engine,
+    cache: "ResultCache | None" = None,
 ) -> list[SweepRecord]:
     """Execute one (num_vms, seed) cell: all schedulers on a shared scenario.
 
     Module-level so it can be shipped to spawn-based worker processes.  The
     scenario is built once per cell (exactly as the serial loop does), so
     every scheduler at the cell competes on identical inputs and the cell's
-    records are a pure function of the arguments.
+    records are a pure function of the arguments.  ``cache`` applies
+    per-scheduler: hit schedulers replay, miss schedulers compute and are
+    stored.
     """
     scenario = scenario_factory(num_vms, num_cloudlets, seed)
     records: list[SweepRecord] = []
     for name, factory in scheduler_factories.items():
-        result = run_point(scenario, factory(), seed=seed, engine=engine)
+        result = run_point(scenario, factory(), seed=seed, engine=engine, cache=cache)
         record = SweepRecord.from_result(result, num_vms, num_cloudlets, seed)
         if record.scheduler != name:
             raise RuntimeError(
@@ -114,15 +148,41 @@ def _run_cell(
     return records
 
 
-def _run_cell_with_telemetry(
+def _run_cell_cache_misses(
     scenario_factory: ScenarioFactory,
-    scheduler_factories: dict[str, Callable[[], Scheduler]],
+    miss_factories: dict[str, Callable[[], Scheduler]],
     num_vms: int,
     num_cloudlets: int,
     seed: int,
     engine: Engine,
-) -> tuple[list[SweepRecord], dict]:
-    """Worker-side cell runner that ships its telemetry back to the parent.
+    cache_root: str,
+) -> list[SweepRecord]:
+    """Worker-side runner for the cache-missing schedulers of one cell.
+
+    The parent already resolved hits and counted the misses, so this
+    computes unconditionally (no re-probe) and publishes each result into
+    the shared on-disk cache — concurrent workers are safe because entry
+    publication is an atomic rename.
+    """
+    cache = ResultCache(cache_root)
+    scenario = scenario_factory(num_vms, num_cloudlets, seed)
+    records: list[SweepRecord] = []
+    for name, factory in miss_factories.items():
+        scheduler = factory()
+        manifest = cache_key_manifest(scenario, scheduler, seed, engine)
+        result = run_point(scenario, scheduler, seed=seed, engine=engine)
+        cache.put(manifest.fingerprint(), result, manifest)
+        record = SweepRecord.from_result(result, num_vms, num_cloudlets, seed)
+        if record.scheduler != name:
+            raise RuntimeError(
+                f"factory {name!r} produced scheduler {record.scheduler!r}"
+            )
+        records.append(record)
+    return records
+
+
+def _run_with_telemetry(cell_runner, *args) -> tuple[list[SweepRecord], dict]:
+    """Worker-side wrapper that ships the cell's telemetry to the parent.
 
     Pool processes are reused across cells, so the worker's registry is
     reset before the cell runs — the returned snapshot is exactly this
@@ -132,9 +192,7 @@ def _run_cell_with_telemetry(
     """
     TELEMETRY.reset()
     TELEMETRY.enable()
-    records = _run_cell(
-        scenario_factory, scheduler_factories, num_vms, num_cloudlets, seed, engine
-    )
+    records = cell_runner(*args)
     return records, TELEMETRY.snapshot().to_dict()
 
 
@@ -147,6 +205,7 @@ def run_sweep(
     engine: Engine = "des",
     progress: Callable[[str], None] | None = None,
     workers: int | None = None,
+    cache: "ResultCache | str | None" = None,
 ) -> list[SweepRecord]:
     """Run the full (scheduler × vm_count × seed) grid.
 
@@ -169,12 +228,24 @@ def run_sweep(
         callables or dataclass instances — not lambdas).  Records come
         back in the same grid order as the serial path and are
         bit-identical to it except for the wall-clock ``scheduling_time``.
+    cache:
+        Optional :class:`repro.cache.ResultCache` (or directory path).
+        Granularity is per (scheduler, cell): extending ``vm_counts``,
+        adding ``seeds`` or adding a scheduler to a previously swept grid
+        computes only the missing cells, and a fully warm sweep replays
+        byte-equal records (wall clock included — it is the cold run's).
+        With ``workers``, hits are resolved in the parent *before*
+        dispatch and only the missing (scheduler, cell) pairs are shipped
+        to the spawn pool; misses are published to the shared cache by the
+        worker that computed them via atomic renames.
 
     Determinism contract: each cell derives every random stream from its
     own ``seed`` argument (scenario synthesis and the per-simulation
-    scheduler RNG alike), so cells are independent and the worker count
-    can never change a result — only how fast it arrives.
+    scheduler RNG alike), so cells are independent and neither the worker
+    count nor the cache state can change a result — only how fast it
+    arrives.
     """
+    cache = ResultCache.coerce(cache)
     cells = [(num_vms, seed) for num_vms in vm_counts for seed in seeds]
     records: list[SweepRecord] = []
 
@@ -199,6 +270,7 @@ def run_sweep(
                     num_cloudlets,
                     seed,
                     engine,
+                    cache,
                 )
             )
         return records
@@ -207,31 +279,85 @@ def run_sweep(
     # test on every platform; results are consumed in submission order to
     # keep the output indistinguishable from the serial path.
     capture_telemetry = TELEMETRY.enabled
-    cell_runner = _run_cell_with_telemetry if capture_telemetry else _run_cell
+
+    def submit(pool, cell_runner, *args):
+        if capture_telemetry:
+            return pool.submit(_run_with_telemetry, cell_runner, *args)
+        return pool.submit(cell_runner, *args)
+
+    def consume(future) -> list[SweepRecord]:
+        outcome = future.result()
+        if capture_telemetry:
+            cell_records, snapshot_dict = outcome
+            TELEMETRY.merge_snapshot(TelemetrySnapshot.from_dict(snapshot_dict))
+            return cell_records
+        return outcome
+
     ctx = multiprocessing.get_context("spawn")
     with concurrent.futures.ProcessPoolExecutor(
         max_workers=workers, mp_context=ctx
     ) as pool:
-        futures = [
-            pool.submit(
-                cell_runner,
-                scenario_factory,
-                scheduler_factories,
-                num_vms,
-                num_cloudlets,
-                seed,
-                engine,
+        if cache is None:
+            futures = [
+                submit(
+                    pool,
+                    _run_cell,
+                    scenario_factory,
+                    scheduler_factories,
+                    num_vms,
+                    num_cloudlets,
+                    seed,
+                    engine,
+                )
+                for num_vms, seed in cells
+            ]
+            for future in futures:
+                emit(consume(future))
+            return records
+
+        # Parent-side hit resolution: probe every (scheduler, cell) key
+        # up front so only the misses ever reach the spawn pool — a fully
+        # warm sweep dispatches nothing.
+        pending: list[tuple[dict[str, SweepRecord], list[str], object | None]] = []
+        for num_vms, seed in cells:
+            scenario = scenario_factory(num_vms, num_cloudlets, seed)
+            hit_records: dict[str, SweepRecord] = {}
+            miss_factories: dict[str, Callable[[], Scheduler]] = {}
+            for name, factory in scheduler_factories.items():
+                key = cache.key_for(scenario, factory(), seed, engine)
+                result = cache.get(key)
+                if result is None:
+                    miss_factories[name] = factory
+                    continue
+                record = SweepRecord.from_result(result, num_vms, num_cloudlets, seed)
+                if record.scheduler != name:
+                    raise RuntimeError(
+                        f"factory {name!r} produced scheduler {record.scheduler!r}"
+                    )
+                hit_records[name] = record
+            future = None
+            if miss_factories:
+                future = submit(
+                    pool,
+                    _run_cell_cache_misses,
+                    scenario_factory,
+                    miss_factories,
+                    num_vms,
+                    num_cloudlets,
+                    seed,
+                    engine,
+                    str(cache.root),
+                )
+            pending.append((hit_records, list(miss_factories), future))
+
+        for hit_records, miss_names, future in pending:
+            computed = dict(zip(miss_names, consume(future))) if future else {}
+            emit(
+                [
+                    hit_records.get(name) or computed[name]
+                    for name in scheduler_factories
+                ]
             )
-            for num_vms, seed in cells
-        ]
-        for future in futures:
-            outcome = future.result()
-            if capture_telemetry:
-                cell_records, snapshot_dict = outcome
-                TELEMETRY.merge_snapshot(TelemetrySnapshot.from_dict(snapshot_dict))
-            else:
-                cell_records = outcome
-            emit(cell_records)
     return records
 
 

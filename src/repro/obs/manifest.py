@@ -13,6 +13,14 @@ unless a caller opts in with ``timestamp=True``.  This keeps results
 bit-comparable across reruns and across serial/parallel sweep paths —
 the golden-assignment and zero-fault reproduction suites rely on it.
 
+Manifests also carry the repository's content-addressing scheme:
+:meth:`RunManifest.fingerprint` reduces the fields that determine a
+run's *outputs* (scenario spec, scheduler params, seed, engine, package
+version) to a stable SHA-256 hex digest.  Host identity, interpreter /
+numpy versions, platform and timestamps are deliberately excluded, so
+the same experiment fingerprints identically on every machine — this is
+the key the :mod:`repro.cache` result store is addressed by.
+
 Example::
 
     >>> from repro.obs.manifest import RunManifest
@@ -21,10 +29,23 @@ Example::
     (7, 'fast')
     >>> RunManifest.from_dict(m.to_dict()) == m
     True
+
+Fingerprints ignore where and when the manifest was captured::
+
+    >>> a = RunManifest(hostname="alpha", platform="Linux", seed=7)
+    >>> b = RunManifest(hostname="beta", platform="Darwin", seed=7)
+    >>> a.fingerprint() == b.fingerprint()
+    True
+    >>> a.fingerprint() == RunManifest(hostname="alpha", seed=8).fingerprint()
+    False
+    >>> len(a.fingerprint())
+    64
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import platform as _platform
 import socket
 import sys
@@ -36,7 +57,20 @@ import numpy as np
 
 from repro._version import __version__
 
-__all__ = ["RunManifest", "capture_manifest"]
+__all__ = ["RunManifest", "capture_manifest", "FINGERPRINT_FIELDS"]
+
+#: Manifest fields that determine a run's outputs and therefore feed the
+#: fingerprint.  Everything else (host, interpreter, numpy, platform,
+#: timestamp) is provenance about *where* a run happened, not *what* it
+#: computes, and is excluded so fingerprints are portable across machines.
+FINGERPRINT_FIELDS = (
+    "package_version",
+    "seed",
+    "engine",
+    "scenario",
+    "scheduler",
+    "extra",
+)
 
 #: Types allowed verbatim inside manifest parameter dicts.
 _JSON_SCALARS = (str, int, float, bool, type(None))
@@ -107,6 +141,21 @@ class RunManifest:
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe representation (inverse of :meth:`from_dict`)."""
         return asdict(self)
+
+    def fingerprint(self) -> str:
+        """Stable SHA-256 hex digest of the run-determining fields.
+
+        Hashes the canonical (sorted-key, compact) JSON encoding of
+        :data:`FINGERPRINT_FIELDS` only — scenario spec, scheduler
+        params, seed, engine and package version.  Hostname, platform,
+        interpreter/numpy versions and ``captured_at`` never contribute,
+        so two manifests of the same experiment agree across machines
+        and reruns.  This is the content-address used by
+        :class:`repro.cache.ResultCache`.
+        """
+        payload = {name: getattr(self, name) for name in FINGERPRINT_FIELDS}
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunManifest":

@@ -140,3 +140,68 @@ class TestMultiPeFifo:
         fast = FastSimulation(scenario, RoundRobinScheduler(), seed=9).run()
         des = CloudSimulation(scenario, RoundRobinScheduler(), seed=9).run()
         assert_results_match(fast, des)
+
+    def test_argsort_grouping_matches_per_vm_rescan_exactly(self):
+        # Regression pin for the grouped multi-PE fallback: the stable
+        # argsort grouping must reproduce the old O(V·n) per-VM rescan
+        # (np.unique + full boolean scan per VM) bit for bit, including
+        # with empty VMs, uneven group sizes and mixed PE counts.
+        rng = np.random.default_rng(42)
+        n, num_vms = 500, 16
+        assignment = rng.integers(0, num_vms, size=n)
+        assignment[assignment == 3] = 4  # leave VM 3 empty on purpose
+        exec_times = rng.uniform(0.1, 10.0, size=n)
+        vm_pes = rng.integers(1, 5, size=num_vms)
+
+        ref_start = np.empty_like(exec_times)
+        ref_finish = np.empty_like(exec_times)
+        for vm_idx in np.unique(assignment):
+            members = np.flatnonzero(assignment == vm_idx)
+            s, f = multi_pe_fifo_times(
+                members, exec_times[members], int(vm_pes[vm_idx])
+            )
+            ref_start[members] = s
+            ref_finish[members] = f
+
+        start = np.empty_like(exec_times)
+        finish = np.empty_like(exec_times)
+        order = np.argsort(assignment, kind="stable")
+        boundaries = np.flatnonzero(np.diff(assignment[order])) + 1
+        for members in np.split(order, boundaries):
+            if members.size == 0:
+                continue
+            vm_idx = int(assignment[members[0]])
+            s, f = multi_pe_fifo_times(
+                members, exec_times[members], int(vm_pes[vm_idx])
+            )
+            start[members] = s
+            finish[members] = f
+
+        np.testing.assert_array_equal(start, ref_start)
+        np.testing.assert_array_equal(finish, ref_finish)
+
+    def test_multi_pe_fast_run_exact_regression(self):
+        # Exact-equality pin of FastSimulation.run on a multi-PE scenario:
+        # the grouping rewrite must not perturb any output array.
+        import dataclasses
+
+        scenario = heterogeneous_scenario(num_vms=6, num_cloudlets=60, seed=3)
+        vms = tuple(
+            dataclasses.replace(v, pes=1 + (i % 3)) for i, v in enumerate(scenario.vms)
+        )
+        scenario = dataclasses.replace(scenario, vms=vms)
+        result = FastSimulation(scenario, RoundRobinScheduler(), seed=3).run()
+
+        arr_exec = np.array(
+            [c.length for c in scenario.cloudlets], dtype=float
+        ) / np.array([v.mips for v in scenario.vms], dtype=float)[result.assignment]
+        ref_start = np.empty_like(arr_exec)
+        ref_finish = np.empty_like(arr_exec)
+        pes = np.array([v.pes for v in scenario.vms])
+        for vm_idx in np.unique(result.assignment):
+            members = np.flatnonzero(result.assignment == vm_idx)
+            s, f = multi_pe_fifo_times(members, arr_exec[members], int(pes[vm_idx]))
+            ref_start[members] = s
+            ref_finish[members] = f
+        np.testing.assert_array_equal(result.start_times, ref_start)
+        np.testing.assert_array_equal(result.finish_times, ref_finish)

@@ -177,6 +177,71 @@ class TestRunLoop:
         assert event is not None and event.data == "only"
         assert sim.step() is None
 
+    def test_step_drain_terminates_like_run(self):
+        # The step() that drains the queue must finalize exactly as run()
+        # does: _finished set, _running cleared, shutdown hooks fired.
+        sim = Simulation()
+        r = Recorder("r")
+        sim.register(r)
+        for i in range(3):
+            sim.schedule(delay=float(i + 1), src=-1, dst=0, tag=EventTag.NONE, data=i)
+        while sim.step() is not None:
+            pass
+        assert sim.finished
+        assert not sim._running
+        assert r.shutdown_called
+        # run() after a stepped-to-completion sim is a no-op, like a rerun.
+        assert sim.run() == sim.now
+
+    def test_step_shutdown_fires_once(self):
+        sim = Simulation()
+
+        class CountingRecorder(Recorder):
+            def __init__(self, name):
+                super().__init__(name)
+                self.shutdown_count = 0
+
+            def shutdown(self):
+                super().shutdown()
+                self.shutdown_count += 1
+
+        r = CountingRecorder("r")
+        sim.register(r)
+        sim.schedule(delay=1.0, src=-1, dst=0, tag=EventTag.NONE)
+        sim.step()
+        assert r.shutdown_count == 1
+        sim.step()  # drained call: must not re-fire hooks
+        sim.run()
+        assert r.shutdown_count == 1
+
+    def test_step_drain_on_started_sim_finalizes(self):
+        # A sim partially advanced by run(max_events=...) and then stepped
+        # past its last event must terminate, not linger in _running.
+        sim = Simulation()
+        r = Recorder("r")
+        sim.register(r)
+        sim.schedule(delay=1.0, src=-1, dst=0, tag=EventTag.NONE)
+        sim.schedule(delay=2.0, src=-1, dst=0, tag=EventTag.NONE)
+        sim.run(max_events=1)
+        assert not sim.finished
+        assert sim.step() is not None
+        assert sim.finished and r.shutdown_called
+
+    def test_step_on_cancelled_out_queue_finalizes(self):
+        # A sim can be left started with an empty queue and no finalize if
+        # run(max_events=...) stops right after a handler's events were
+        # cancelled; the next step() must notice the drain and terminate.
+        sim = Simulation()
+        r = Recorder("r")
+        sim.register(r)
+        sim.schedule(delay=1.0, src=-1, dst=0, tag=EventTag.NONE)
+        later = sim.schedule(delay=2.0, src=-1, dst=0, tag=EventTag.NONE)
+        sim.run(max_events=1)
+        sim.cancel(later)
+        assert not sim.finished
+        assert sim.step() is None
+        assert sim.finished and r.shutdown_called
+
     def test_schedule_negative_delay_rejected(self):
         sim = Simulation()
         sim.register(Recorder("r"))

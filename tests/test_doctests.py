@@ -20,6 +20,7 @@ MODULES_WITH_EXAMPLES = [
     "repro.obs.telemetry",
     "repro.obs.manifest",
     "repro.obs.export",
+    "repro.cache",
     "repro.optim",
     "repro.workloads.synthetic",
     "repro.experiments.profiling",

@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Cold-vs-warm result-cache smoke: the CI gate for the cache contract.
+
+Runs the fig6b quick sweep three times against one cache directory:
+
+1. **cold, serial** — populates the cache; telemetry must report all
+   misses and no hits.
+2. **warm, serial** — must report all hits, produce records byte-equal
+   to the cold run's (wall-clock fields included: a hit replays the
+   cold run's measured value), and be measurably faster.
+3. **warm, ``--workers 2``** — pins parent-side hit resolution: the
+   parent resolves every cell before dispatch, so the run is again
+   all-hit with byte-equal records.
+
+Exit status 0 on success; any contract violation raises.
+
+Usage::
+
+    PYTHONPATH=src python tools/cache_smoke.py [--min-speedup 5.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+
+from repro.cache import ResultCache
+from repro.experiments.figures import get_experiment
+from repro.experiments.runner import run_sweep
+from repro.obs.telemetry import TELEMETRY
+
+
+def sweep_kwargs():
+    definition = get_experiment("fig6b")
+    config = definition.config("quick")
+    return dict(
+        scenario_factory=definition.scenario_factory(),
+        scheduler_factories=config.make_schedulers(definition.schedulers),
+        vm_counts=config.vm_counts,
+        num_cloudlets=config.num_cloudlets,
+        seeds=config.seeds,
+        engine=definition.engine,
+    )
+
+
+def timed_sweep(label: str, *, cache: ResultCache, workers: int | None = None):
+    """One telemetry-instrumented sweep; returns (records, counters, seconds)."""
+    TELEMETRY.reset()
+    TELEMETRY.enable()
+    try:
+        t0 = time.perf_counter()
+        records = run_sweep(**sweep_kwargs(), cache=cache, workers=workers)
+        elapsed = time.perf_counter() - t0
+        counters = TELEMETRY.snapshot().counters
+    finally:
+        TELEMETRY.reset()
+        TELEMETRY.disable()
+    hits = counters.get("cache.hits", 0)
+    misses = counters.get("cache.misses", 0)
+    print(
+        f"{label:22s} {elapsed:7.2f}s  cells={len(records)} "
+        f"hits={hits} misses={misses}"
+    )
+    return records, counters, elapsed
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise AssertionError(message)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="required cold/warm wall-clock ratio (default: 5.0)",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="cache-smoke-") as root:
+        cache = ResultCache(root)
+
+        cold, cold_counters, cold_s = timed_sweep("cold serial", cache=cache)
+        check(cold_counters.get("cache.hits", 0) == 0, "cold run reported hits")
+        check(
+            cold_counters.get("cache.misses", 0) == len(cold),
+            "cold run did not miss every cell",
+        )
+        check(
+            cold_counters.get("cache.bytes_written", 0) > 0,
+            "cold run wrote no bytes",
+        )
+
+        warm, warm_counters, warm_s = timed_sweep("warm serial", cache=cache)
+        check(warm == cold, "warm serial records differ from cold")
+        check(
+            warm_counters.get("cache.hits", 0) == len(cold),
+            "warm serial run was not all-hit",
+        )
+        check(
+            warm_counters.get("cache.misses", 0) == 0,
+            "warm serial run reported misses",
+        )
+        check(
+            warm_s * args.min_speedup <= cold_s,
+            f"warm not ≥{args.min_speedup}× faster: "
+            f"cold={cold_s:.3f}s warm={warm_s:.3f}s",
+        )
+
+        par, par_counters, _ = timed_sweep("warm --workers 2", cache=cache, workers=2)
+        check(par == cold, "warm parallel records differ from cold")
+        check(
+            par_counters.get("cache.hits", 0) == len(cold),
+            "warm parallel run was not all-hit (parent-side resolution broken?)",
+        )
+        check(
+            par_counters.get("cache.misses", 0) == 0,
+            "warm parallel run reported misses",
+        )
+
+    print(f"OK: warm replay {cold_s / max(warm_s, 1e-9):.1f}× faster than cold, "
+          "records byte-equal, parallel warm all-hit")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
