@@ -1,0 +1,91 @@
+"""Paper-scale homogeneous points on the streaming engine (Figs. 4/5).
+
+The headline homogeneous study runs 1,000,000 cloudlets; the in-memory
+engines materialise O(n) per-cloudlet arrays and records, so those points
+were previously out of reach on commodity memory.  These benchmarks
+exercise the streaming path at that scale and record what the paper's
+tables need: throughput (cloudlets scheduled+executed per second) and the
+process's peak RSS, per chunk size.
+
+``--benchmark-only`` selects these; the 1M point runs a single round (the
+workload itself is the repetition).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.fast import StreamingSimulation, peak_rss_bytes
+from repro.schedulers.streaming import make_streaming_scheduler
+from repro.workloads.streaming import homogeneous_stream
+
+#: the paper's headline workload size.
+PAPER_CLOUDLETS = 1_000_000
+#: Fig. 4a/5a's smallest fleet (keeps per-VM accumulators tiny).
+NUM_VMS = 1_000
+SEED = 0
+
+#: chunk-size sweep: memory/throughput trade-off, metrics invariant.
+CHUNK_SIZES = (16_384, 65_536, 262_144)
+
+
+def _record(benchmark, result, elapsed_hint: float | None = None) -> None:
+    benchmark.extra_info["scheduler"] = result.scheduler_name
+    benchmark.extra_info["num_cloudlets"] = result.num_cloudlets
+    benchmark.extra_info["chunk_size"] = result.chunk_size
+    benchmark.extra_info["num_chunks"] = result.num_chunks
+    benchmark.extra_info["makespan"] = round(result.makespan, 4)
+    benchmark.extra_info["time_imbalance"] = round(result.time_imbalance, 6)
+    benchmark.extra_info["total_cost"] = round(result.total_cost, 2)
+    benchmark.extra_info["peak_rss_mb"] = round(result.peak_rss_bytes / 2**20, 1)
+    stats = getattr(benchmark, "stats", None)
+    mean = getattr(getattr(stats, "stats", None), "mean", None) or elapsed_hint
+    if mean:
+        benchmark.extra_info["throughput_cloudlets_per_s"] = round(
+            result.num_cloudlets / mean
+        )
+
+
+@pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+def test_paperscale_1m_roundrobin_chunk_sweep(benchmark, chunk_size):
+    """1M-cloudlet round-robin point at each chunk size.
+
+    Chunk size must not change any metric (pinned by the property suite);
+    here it only moves the throughput/peak-RSS trade-off being measured.
+    """
+    stream = homogeneous_stream(
+        NUM_VMS, PAPER_CLOUDLETS, seed=SEED, chunk_size=chunk_size
+    )
+
+    def run():
+        return StreamingSimulation(
+            stream, make_streaming_scheduler("basetest"), seed=SEED
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _record(benchmark, result)
+    # Fig. 4a at 1,000 VMs: ceil(1e6 / 1e3) * 250 / 1000 = 250 s exactly.
+    assert result.makespan == 250.0
+    assert result.num_chunks == -(-PAPER_CLOUDLETS // chunk_size)
+
+
+@pytest.mark.parametrize("name", ["basetest", "greedy-mct", "honeybee", "rbs"])
+def test_paperscale_200k_scheduler_sweep(benchmark, name):
+    """All four streamed schedulers at a 200k-cloudlet point.
+
+    Scaled to a fifth of the paper's workload so the full scheduler sweep
+    stays CI-sized; throughput and RSS per scheduler land in extra_info.
+    """
+    stream = homogeneous_stream(NUM_VMS, 200_000, seed=SEED, chunk_size=65_536)
+
+    def run():
+        return StreamingSimulation(
+            stream, make_streaming_scheduler(name), seed=SEED
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _record(benchmark, result)
+    # Homogeneous fleet: every scheduler converges to the cyclic optimum.
+    optimum = -(-200_000 // NUM_VMS) * 250.0 / 1000.0
+    assert result.makespan <= optimum * 1.1
+    assert result.peak_rss_bytes == peak_rss_bytes()

@@ -61,6 +61,7 @@ from repro.obs.manifest import RunManifest, capture_manifest
 from repro.obs.telemetry import TELEMETRY as _TEL
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.cloud.fast import StreamingResult
     from repro.cloud.simulation import SimulationResult
     from repro.workloads.spec import ScenarioSpec
 
@@ -88,6 +89,12 @@ _ARRAY_FIELDS = (
     "exec_times",
     "costs",
 )
+#: StreamingResult array fields (per-VM aggregates, O(num_vms)) persisted
+#: for entries with ``result_kind == "stream"``.
+_STREAM_ARRAY_FIELDS = (
+    "vm_finish_times",
+    "vm_costs",
+)
 #: process-local uniquifier for staging directory names.
 _STAGE_COUNTER = itertools.count()
 
@@ -108,14 +115,23 @@ def scenario_digest(scenario: "ScenarioSpec") -> str:
     cached = getattr(scenario, "_digest_cache", None)
     if cached is not None:
         return cached
-    arrays = scenario.arrays()
-    h = hashlib.sha256()
-    for name in sorted(f for f in vars(arrays) if not f.startswith("_")):
-        column = np.ascontiguousarray(getattr(arrays, name))
-        h.update(name.encode())
-        h.update(str(column.dtype).encode())
-        h.update(column.tobytes())
-    digest = h.hexdigest()
+    if hasattr(scenario, "digest"):
+        # Chunked scenarios (ScenarioChunks) hash their own columns one
+        # chunk at a time — never materialising the workload.  Their
+        # digest scheme differs from the block below by construction
+        # (per-column sub-hashers), so a spec and a stream of the same
+        # workload key differently; the engine string already separates
+        # their cache entries anyway.
+        digest = scenario.digest()
+    else:
+        arrays = scenario.arrays()
+        h = hashlib.sha256()
+        for name in sorted(f for f in vars(arrays) if not f.startswith("_")):
+            column = np.ascontiguousarray(getattr(arrays, name))
+            h.update(name.encode())
+            h.update(str(column.dtype).encode())
+            h.update(column.tobytes())
+        digest = h.hexdigest()
     try:
         object.__setattr__(scenario, "_digest_cache", digest)
     except AttributeError:  # slotted/exotic spec: recompute next time
@@ -134,7 +150,16 @@ def cache_key_manifest(
 
     Must be built from a *fresh* scheduler (before it runs) so the
     recorded constructor parameters are the pre-run configuration.
+
+    Chunked scenarios fold their chunking geometry (``chunk_size``,
+    ``num_chunks``) into the fingerprint: streaming metrics are
+    chunk-size-invariant by contract, but the stored entry records the
+    geometry it was produced under, and re-keying on it keeps the
+    invariance property *testable* rather than silently assumed.
     """
+    if hasattr(scenario, "chunk_size") and hasattr(scenario, "num_chunks"):
+        extra.setdefault("chunk_size", int(scenario.chunk_size))
+        extra.setdefault("num_chunks", int(scenario.num_chunks))
     return capture_manifest(
         scenario=scenario,
         scheduler=scheduler,
@@ -243,13 +268,18 @@ class ResultCache:
 
     # -- read ---------------------------------------------------------------
 
-    def get(self, key: str) -> "SimulationResult | None":
+    def get(self, key: str) -> "SimulationResult | StreamingResult | None":
         """Load the entry for ``key``; ``None`` on miss *or any damage*.
 
         A truncated ``arrays.npz``, unparsable ``meta.json``, missing
         member or format/package-version mismatch all count as misses —
         the caller recomputes and :meth:`put` replaces the bad entry.
+
+        Entries written from a :class:`~repro.cloud.fast.StreamingResult`
+        (``result_kind == "stream"``) load back as one; everything else
+        loads as a :class:`~repro.cloud.simulation.SimulationResult`.
         """
+        from repro.cloud.fast import StreamingResult
         from repro.cloud.simulation import SimulationResult
 
         entry = self.entry_dir(key)
@@ -261,10 +291,12 @@ class ResultCache:
                 raise ValueError("entry format mismatch")
             if meta.get("package_version") != __version__:
                 raise ValueError("package version mismatch")
+            kind = meta.get("result_kind", "memory")
+            fields = _STREAM_ARRAY_FIELDS if kind == "stream" else _ARRAY_FIELDS
             with np.load(arrays_path) as npz:
-                arrays = {name: npz[name] for name in _ARRAY_FIELDS}
-            n = arrays["assignment"].shape[0]
-            if any(arrays[name].shape != (n,) for name in _ARRAY_FIELDS):
+                arrays = {name: npz[name] for name in fields}
+            n = arrays[fields[0]].shape[0]
+            if any(arrays[name].shape != (n,) for name in fields):
                 raise ValueError("misaligned arrays")
             nbytes = self._entry_bytes(entry)
         except (OSError, ValueError, KeyError, json.JSONDecodeError, zipfile.BadZipFile):
@@ -275,7 +307,7 @@ class ResultCache:
         self.bytes_read += nbytes
         _TEL.count("cache.hits")
         _TEL.count("cache.bytes_read", nbytes)
-        return SimulationResult(
+        common = dict(
             scenario_name=meta["scenario_name"],
             scheduler_name=meta["scheduler_name"],
             scheduling_time=meta["scheduling_time"],
@@ -284,15 +316,24 @@ class ResultCache:
             total_cost=meta["total_cost"],
             events_processed=meta["events_processed"],
             info=dict(meta["info"]),
-            **arrays,
         )
+        if kind == "stream":
+            return StreamingResult(
+                num_cloudlets=meta["num_cloudlets"],
+                chunk_size=meta["chunk_size"],
+                num_chunks=meta["num_chunks"],
+                peak_rss_bytes=meta.get("peak_rss_bytes", 0),
+                **common,
+                **arrays,
+            )
+        return SimulationResult(**common, **arrays)
 
     # -- write --------------------------------------------------------------
 
     def put(
         self,
         key: str,
-        result: "SimulationResult",
+        result: "SimulationResult | StreamingResult",
         manifest: RunManifest | None = None,
     ) -> bool:
         """Persist ``result`` under ``key``; returns False if a racing
@@ -302,7 +343,14 @@ class ResultCache:
         derived from; it is stored so ``cache verify`` can re-derive and
         check the fingerprint.  Only JSON-serialisable ``info`` values
         survive the round trip (same rule as ``SimulationResult.save``).
+
+        :class:`~repro.cloud.fast.StreamingResult` inputs are detected by
+        their per-VM aggregate arrays and stored as ``result_kind ==
+        "stream"`` entries (a few KB — no per-cloudlet arrays exist to
+        persist).
         """
+        is_stream = hasattr(result, "vm_finish_times")
+        fields = _STREAM_ARRAY_FIELDS if is_stream else _ARRAY_FIELDS
         entry = self.entry_dir(key)
         stage = self.root / "tmp" / f"{key}.{os.getpid()}.{next(_STAGE_COUNTER)}"
         stage.mkdir(parents=True, exist_ok=True)
@@ -318,6 +366,7 @@ class ResultCache:
                 "entry_format": ENTRY_FORMAT_VERSION,
                 "key": key,
                 "package_version": __version__,
+                "result_kind": "stream" if is_stream else "memory",
                 "scenario_name": result.scenario_name,
                 "scheduler_name": result.scheduler_name,
                 "scheduling_time": float(result.scheduling_time),
@@ -328,10 +377,15 @@ class ResultCache:
                 "info": info,
                 "manifest": manifest.to_dict() if manifest is not None else None,
             }
+            if is_stream:
+                meta["num_cloudlets"] = int(result.num_cloudlets)
+                meta["chunk_size"] = int(result.chunk_size)
+                meta["num_chunks"] = int(result.num_chunks)
+                meta["peak_rss_bytes"] = int(result.peak_rss_bytes)
             (stage / _META_NAME).write_text(json.dumps(meta, sort_keys=True))
             np.savez_compressed(
                 stage / _ARRAYS_NAME,
-                **{name: getattr(result, name) for name in _ARRAY_FIELDS},
+                **{name: getattr(result, name) for name in fields},
             )
             nbytes = self._entry_bytes(stage)
             entry.parent.mkdir(parents=True, exist_ok=True)
@@ -404,9 +458,14 @@ class ResultCache:
             if meta.get("key") != key:
                 problems.append(f"{key}: recorded key {meta.get('key')!r} mismatches")
                 continue
+            fields = (
+                _STREAM_ARRAY_FIELDS
+                if meta.get("result_kind") == "stream"
+                else _ARRAY_FIELDS
+            )
             try:
                 with np.load(entry / _ARRAYS_NAME) as npz:
-                    missing = [n for n in _ARRAY_FIELDS if n not in npz.files]
+                    missing = [n for n in fields if n not in npz.files]
                 if missing:
                     problems.append(f"{key}: arrays missing {missing}")
                     continue
@@ -454,8 +513,13 @@ class ResultCache:
                     raise ValueError
                 if meta.get("package_version") != __version__:
                     raise ValueError
+                fields = (
+                    _STREAM_ARRAY_FIELDS
+                    if meta.get("result_kind") == "stream"
+                    else _ARRAY_FIELDS
+                )
                 with np.load(entry / _ARRAYS_NAME) as npz:
-                    if any(n not in npz.files for n in _ARRAY_FIELDS):
+                    if any(n not in npz.files for n in fields):
                         raise ValueError
             except (OSError, ValueError, json.JSONDecodeError, zipfile.BadZipFile):
                 drop(key)

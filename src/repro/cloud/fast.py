@@ -18,20 +18,26 @@ property-based tests (``tests/cloud/test_fast_vs_des.py``).
 from __future__ import annotations
 
 import heapq
+import resource
+import sys
 import time
-from typing import TYPE_CHECKING
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro.core.rng import spawn_rng
 from repro.metrics.definitions import makespan as makespan_metric
-from repro.metrics.definitions import time_imbalance
+from repro.metrics.definitions import processing_cost, time_imbalance
 from repro.obs.manifest import capture_manifest
 from repro.obs.telemetry import TELEMETRY as _TEL
 from repro.schedulers.base import Scheduler, SchedulingContext
-from repro.workloads.spec import ScenarioSpec
+from repro.workloads.spec import ScenarioArrays, ScenarioSpec
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cloud.simulation import SimulationResult
+    from repro.schedulers.streaming import StreamingScheduler
+    from repro.workloads.streaming import ScenarioChunks
 
 
 def grouped_fifo_times(
@@ -183,4 +189,289 @@ class FastSimulation:
         )
 
 
-__all__ = ["FastSimulation", "grouped_fifo_times", "multi_pe_fifo_times"]
+def peak_rss_bytes() -> int:
+    """High-water resident set size of this process, in bytes.
+
+    Uses the stdlib ``resource`` module (``ru_maxrss`` is kilobytes on
+    Linux, bytes on macOS) so the streaming path needs no extra
+    dependencies to enforce its memory budget.
+    """
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(rss) if sys.platform == "darwin" else int(rss) * 1024
+
+
+def _chunk_costs(chunk: ScenarioArrays, assignment: np.ndarray) -> np.ndarray:
+    """Per-cloudlet processing cost of one chunk (mirrors
+    :func:`repro.cloud.simulation.compute_batch_costs` element-for-element,
+    but over chunk arrays instead of a full spec)."""
+    dc = chunk.vm_datacenter[assignment]
+    return processing_cost(
+        lengths=chunk.cloudlet_length,
+        vm_mips=chunk.vm_mips[assignment],
+        vm_ram=chunk.vm_ram[assignment],
+        vm_size=chunk.vm_size[assignment],
+        file_sizes=chunk.cloudlet_file_size,
+        output_sizes=chunk.cloudlet_output_size,
+        cost_per_cpu=chunk.dc_cost_per_cpu[dc],
+        cost_per_mem=chunk.dc_cost_per_mem[dc],
+        cost_per_storage=chunk.dc_cost_per_storage[dc],
+        cost_per_bw=chunk.dc_cost_per_bw[dc],
+    )
+
+
+@dataclass
+class StreamingResult:
+    """Outcome of one memory-bounded streaming execution.
+
+    Carries the same scalar metric fields as
+    :class:`~repro.cloud.simulation.SimulationResult` (so sweep records
+    build from either), but per-VM aggregates instead of per-cloudlet
+    arrays: the whole point of the streaming path is never holding O(n)
+    result records.
+    """
+
+    scenario_name: str
+    scheduler_name: str
+    scheduling_time: float
+    makespan: float
+    time_imbalance: float
+    total_cost: float
+    num_cloudlets: int
+    chunk_size: int
+    num_chunks: int
+    #: per-VM completion time (sum of its cloudlets' execution times).
+    vm_finish_times: np.ndarray
+    #: per-VM summed processing cost.
+    vm_costs: np.ndarray
+    #: process high-water RSS observed right after the run, in bytes.
+    peak_rss_bytes: int = 0
+    events_processed: int = 0
+    info: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_vms(self) -> int:
+        return int(self.vm_finish_times.shape[0])
+
+    def summary(self) -> dict[str, float]:
+        """The paper's four metrics as a flat dict (for reports/CSV)."""
+        return {
+            "scheduling_time_s": self.scheduling_time,
+            "makespan": self.makespan,
+            "time_imbalance": self.time_imbalance,
+            "total_cost": self.total_cost,
+        }
+
+
+class StreamingSimulation:
+    """Memory-bounded analytic execution over a chunked scenario.
+
+    Folds each cloudlet chunk into running per-VM accumulators instead of
+    per-cloudlet record arrays, so a paper-scale point (10^6 cloudlets)
+    peaks at O(num_vms + chunk_size) memory.  Restricted to single-PE
+    fleets (the paper's setting) — the closed form per VM is then a plain
+    running sum.
+
+    Determinism contract: the execution fold accumulates with
+    ``np.add.at`` (unbuffered, strictly index-ordered), so every bounded
+    metric is bit-for-bit identical for *any* chunk size.  Collect mode
+    is byte-equal to :class:`FastSimulation` whenever the per-cloudlet
+    execution times are exactly representable (the homogeneous tables,
+    dyadic fleets).  Bounded-mode scalars additionally match the
+    in-memory values exactly on *fully dyadic* workloads (power-of-two
+    MIPS, integer lengths, dyadic cost constants); elsewhere
+    ``total_cost`` can differ from the in-memory pairwise sum by
+    float reassociation ulps (see docs/performance.md, "When streaming
+    is bit-safe").
+
+    Parameters
+    ----------
+    stream:
+        A :class:`~repro.workloads.streaming.ScenarioChunks`.
+    scheduler:
+        A :class:`~repro.schedulers.streaming.StreamingScheduler`, or any
+        in-memory :class:`~repro.schedulers.base.Scheduler` (adapted via
+        :func:`~repro.schedulers.streaming.as_streaming`; metaheuristics
+        then fall back to materialising the workload).
+    seed:
+        Scheduler RNG seed; the stream is derived with the same
+        ``scheduler/{name}`` label the in-memory façades use, so
+        streaming and monolithic runs see identical random streams.
+    collect:
+        ``False`` (default) returns a :class:`StreamingResult` of bounded
+        accumulators.  ``True`` additionally concatenates per-chunk
+        start/finish/cost arrays and returns a full
+        :class:`~repro.cloud.simulation.SimulationResult` — O(n) memory,
+        used by the differential tests.
+    """
+
+    def __init__(
+        self,
+        stream: "ScenarioChunks",
+        scheduler: "Scheduler | StreamingScheduler",
+        seed: int | None = 0,
+        collect: bool = False,
+    ) -> None:
+        from repro.schedulers.streaming import as_streaming
+
+        self.stream = stream
+        self.scheduler = as_streaming(scheduler)
+        self.seed = seed
+        self.collect = collect
+
+    def run(self) -> "SimulationResult | StreamingResult":
+        stream = self.stream
+        m = stream.num_vms
+        n = stream.num_cloudlets
+        if not (stream.vm_pes == 1).all():
+            raise ValueError(
+                "StreamingSimulation supports single-PE fleets only "
+                "(the paper's setting); use FastSimulation for multi-PE VMs"
+            )
+
+        telemetry_before = _TEL.snapshot() if _TEL.enabled else None
+        rng = spawn_rng(self.seed, f"scheduler/{stream.name}")
+
+        t0 = time.perf_counter()
+        with _TEL.span("sim.schedule"):
+            assigner = self.scheduler.open(stream, rng)
+        scheduling_time = time.perf_counter() - t0
+
+        backlog = np.zeros(m)
+        vm_costs = np.zeros(m)
+        exec_min, exec_max = np.inf, -np.inf
+        num_chunks = 0
+        collected: dict[str, list[np.ndarray]] = (
+            {k: [] for k in ("assignment", "start", "finish", "exec", "costs")}
+            if self.collect
+            else {}
+        )
+
+        for offset, chunk in stream:
+            num_chunks += 1
+            t0 = time.perf_counter()
+            with _TEL.span("sim.schedule"):
+                assignment = assigner.assign(chunk, offset)
+            scheduling_time += time.perf_counter() - t0
+            self._validate_chunk(assignment, chunk.num_cloudlets, m, offset)
+
+            with _TEL.span("sim.execute"):
+                exec_chunk = chunk.cloudlet_length / chunk.vm_mips[assignment]
+                if self.collect:
+                    # Chunk-local FIFO prefix sums, shifted by each VM's
+                    # accumulated backlog from previous chunks.
+                    start, finish = grouped_fifo_times(assignment, exec_chunk, m)
+                    carried = backlog[assignment]
+                    collected["assignment"].append(np.asarray(assignment, dtype=np.int64))
+                    collected["start"].append(start + carried)
+                    collected["finish"].append(finish + carried)
+                    collected["exec"].append(exec_chunk)
+                # np.add.at is unbuffered and strictly index-ordered, so the
+                # per-VM sums are identical no matter how the batch is
+                # chunked — this is what makes every bounded metric
+                # chunk-size-invariant bit-for-bit.
+                np.add.at(backlog, assignment, exec_chunk)
+                cost_chunk = _chunk_costs(chunk, assignment)
+                if self.collect:
+                    collected["costs"].append(cost_chunk)
+                np.add.at(vm_costs, assignment, cost_chunk)
+                exec_min = min(exec_min, float(exec_chunk.min()))
+                exec_max = max(exec_max, float(exec_chunk.max()))
+
+        peak_rss = peak_rss_bytes()
+        if _TEL.enabled:
+            _TEL.gauge("stream.chunks", num_chunks)
+            _TEL.gauge("stream.peak_rss", peak_rss)
+
+        info: dict[str, Any] = {
+            "engine": "stream",
+            "execution_model": "space-shared",
+            "chunk_size": stream.chunk_size,
+            "num_chunks": num_chunks,
+            "streaming_native": self.scheduler.streaming_native,
+            "peak_rss_bytes": peak_rss,
+            "manifest": capture_manifest(
+                scenario=stream,
+                scheduler=self.scheduler,
+                seed=self.seed,
+                engine="stream",
+                execution_model="space-shared",
+                chunk_size=stream.chunk_size,
+                num_chunks=num_chunks,
+            ).to_dict(),
+            **assigner.info(),
+        }
+        if telemetry_before is not None:
+            info["telemetry"] = _TEL.snapshot().diff(telemetry_before).to_dict()
+
+        if self.collect:
+            from repro.cloud.simulation import SimulationResult
+
+            assignment_all = np.concatenate(collected["assignment"])
+            start_all = np.concatenate(collected["start"])
+            finish_all = np.concatenate(collected["finish"])
+            costs_all = np.concatenate(collected["costs"])
+            per_task = finish_all - start_all
+            return SimulationResult(
+                scenario_name=stream.name,
+                scheduler_name=self.scheduler.name,
+                scheduling_time=scheduling_time,
+                makespan=makespan_metric(start_all, finish_all),
+                time_imbalance=time_imbalance(per_task),
+                total_cost=float(costs_all.sum()),
+                assignment=assignment_all,
+                submission_times=np.zeros_like(start_all),
+                start_times=start_all,
+                finish_times=finish_all,
+                exec_times=per_task,
+                costs=costs_all,
+                events_processed=0,
+                info=info,
+            )
+
+        # Bounded aggregates.  Every VM's first cloudlet starts at t=0, so
+        # the makespan (max finish - min start) is just the largest backlog;
+        # the imbalance mean is total execution time over n.
+        mean_exec = float(backlog.sum()) / n
+        return StreamingResult(
+            scenario_name=stream.name,
+            scheduler_name=self.scheduler.name,
+            scheduling_time=scheduling_time,
+            makespan=float(backlog.max()),
+            time_imbalance=float((exec_max - exec_min) / mean_exec),
+            total_cost=float(vm_costs.sum()),
+            num_cloudlets=n,
+            chunk_size=stream.chunk_size,
+            num_chunks=num_chunks,
+            vm_finish_times=backlog,
+            vm_costs=vm_costs,
+            peak_rss_bytes=peak_rss,
+            events_processed=0,
+            info=info,
+        )
+
+    @staticmethod
+    def _validate_chunk(assignment: np.ndarray, k: int, m: int, offset: int) -> None:
+        arr = np.asarray(assignment)
+        if arr.shape != (k,):
+            raise ValueError(
+                f"chunk at offset {offset}: assignment shape {arr.shape} != ({k},)"
+            )
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise ValueError(
+                f"chunk at offset {offset}: assignment must be integral, "
+                f"got dtype {arr.dtype}"
+            )
+        if arr.size and (arr.min() < 0 or arr.max() >= m):
+            raise ValueError(
+                f"chunk at offset {offset}: assignment values must be in [0, {m})"
+            )
+
+
+__all__ = [
+    "FastSimulation",
+    "StreamingSimulation",
+    "StreamingResult",
+    "grouped_fifo_times",
+    "multi_pe_fifo_times",
+    "peak_rss_bytes",
+]

@@ -6,6 +6,7 @@ Examples
 
     python -m repro.experiments fig6a --preset quick
     python -m repro.experiments all --preset scaled --out results/ -v
+    python -m repro.experiments fig4a --stream --chunk-size 65536 -v
     python -m repro.experiments fig6a --telemetry --out results/
     python -m repro.experiments fig6b --cache-dir .repro-cache
     python -m repro.experiments cache stats --cache-dir .repro-cache
@@ -106,6 +107,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="for 'cache prune': evict oldest entries down to this size",
+    )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "run the figure on the memory-bounded streaming engine: chunked "
+            "scenario generation + per-VM accumulator folding (fast-path "
+            "figures fig4a-fig5b only; see docs/performance.md)"
+        ),
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help=(
+            "cloudlets per streaming chunk (default 65536); metric values "
+            "are chunk-size-invariant, only peak memory changes"
+        ),
     )
     parser.add_argument(
         "--telemetry",
@@ -285,6 +304,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     targets = sorted(EXPERIMENTS) if args.target == "all" else [args.target.lower()]
+    if args.target == "all" and args.stream:
+        # Only the analytic fast-path figures can stream; skip DES figures
+        # rather than failing halfway through the batch.
+        targets = [t for t in targets if EXPERIMENTS[t].engine == "fast"]
+        print(f"(--stream: running fast-path figures only: {', '.join(targets)})")
     unknown = [
         t for t in targets if t not in EXPERIMENTS and t not in EXTENSION_EXPERIMENTS
     ]
@@ -310,15 +334,25 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"note: {target} is an extension experiment; running serially")
             if cache is not None:
                 print(f"note: {target} is an extension experiment; cache not used")
+            if args.stream:
+                print(f"note: {target} is an extension experiment; --stream ignored")
             data = EXTENSION_EXPERIMENTS[target](args.preset)
         else:
-            data = run_experiment(
-                target,
-                preset=args.preset,
-                progress=progress,
-                workers=args.workers,
-                cache=cache,
-            )
+            try:
+                data = run_experiment(
+                    target,
+                    preset=args.preset,
+                    progress=progress,
+                    workers=args.workers,
+                    cache=cache,
+                    stream=args.stream,
+                    chunk_size=args.chunk_size,
+                )
+            except ValueError as exc:
+                if not args.stream:
+                    raise
+                print(str(exc), file=sys.stderr)
+                return 2
         elapsed = time.perf_counter() - t0
         # Scheduling-time figures span decades; log scale reads better.
         logy = args.logy or target.startswith("fig5") or target == "fig6b"

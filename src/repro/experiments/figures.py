@@ -97,16 +97,42 @@ class ScenarioFamily:
 
     Parallel sweeps pickle the factory into spawn-based workers, so it is
     a dataclass keyed by the family name rather than a lambda.
+
+    With ``chunked=True`` the factory yields a
+    :class:`~repro.workloads.streaming.ScenarioChunks` instead of a
+    materialised spec — same seeds, bit-identical columns, but the
+    workload exists only one chunk at a time.  This is what the
+    ``"stream"`` engine sweeps use at paper scale.
     """
 
     kind: str  # "homogeneous" | "heterogeneous"
+    chunked: bool = False
+    chunk_size: int | None = None
 
     def __call__(self, num_vms: int, num_cloudlets: int, seed: int):
+        if self.kind not in ("homogeneous", "heterogeneous"):
+            raise ValueError(f"unknown scenario kind {self.kind!r}")
+        if self.chunked:
+            from repro.workloads.streaming import (
+                DEFAULT_CHUNK_SIZE,
+                heterogeneous_stream,
+                homogeneous_stream,
+            )
+
+            make = (
+                homogeneous_stream
+                if self.kind == "homogeneous"
+                else heterogeneous_stream
+            )
+            return make(
+                num_vms,
+                num_cloudlets,
+                seed=seed,
+                chunk_size=self.chunk_size or DEFAULT_CHUNK_SIZE,
+            )
         if self.kind == "homogeneous":
             return homogeneous_scenario(num_vms, num_cloudlets, seed=seed)
-        if self.kind == "heterogeneous":
-            return heterogeneous_scenario(num_vms, num_cloudlets, seed=seed)
-        raise ValueError(f"unknown scenario kind {self.kind!r}")
+        return heterogeneous_scenario(num_vms, num_cloudlets, seed=seed)
 
 
 @dataclass(frozen=True)
@@ -123,10 +149,12 @@ class ExperimentDefinition:
     #: paper's qualitative expectation, documented in EXPERIMENTS.md.
     expectation: str = ""
 
-    def scenario_factory(self) -> ScenarioFamily:
+    def scenario_factory(
+        self, chunked: bool = False, chunk_size: int | None = None
+    ) -> ScenarioFamily:
         if self.scenario_kind not in ("homogeneous", "heterogeneous"):
             raise ValueError(f"unknown scenario kind {self.scenario_kind!r}")
-        return ScenarioFamily(self.scenario_kind)
+        return ScenarioFamily(self.scenario_kind, chunked=chunked, chunk_size=chunk_size)
 
     def config(self, preset: Preset | str) -> SweepConfig:
         return preset_config(self.experiment_id, preset)
@@ -280,6 +308,8 @@ def run_experiment(
     progress: Callable[[str], None] | None = None,
     workers: int | None = None,
     cache=None,
+    stream: bool = False,
+    chunk_size: int | None = None,
 ) -> FigureData:
     """Execute one paper figure's sweep and aggregate it.
 
@@ -289,19 +319,39 @@ def run_experiment(
     :class:`repro.cache.ResultCache` or directory path) makes the sweep
     incremental: previously computed (scheduler, scale, seed) cells replay
     from disk and only the missing ones run.
+
+    ``stream=True`` replaces the figure's analytic engine with the
+    memory-bounded streaming path (chunked scenario generation plus
+    per-VM accumulator folding; see docs/performance.md).  Only figures
+    declared on the ``"fast"`` engine stream — the DES figures model
+    per-event dynamics the fold cannot reproduce and raise
+    ``ValueError``.  ``chunk_size`` sets the cloudlets-per-chunk
+    granularity (metric values do not depend on it).
     """
     definition = get_experiment(experiment_id)
     config = definition.config(preset)
+    engine = definition.engine
+    if stream:
+        if engine != "fast":
+            raise ValueError(
+                f"experiment {definition.experiment_id!r} runs on the "
+                f"{engine!r} engine; --stream only applies to the analytic "
+                "fast-path figures (fig4a-fig5b)"
+            )
+        engine = "stream"
     records = run_sweep(
-        scenario_factory=definition.scenario_factory(),
+        scenario_factory=definition.scenario_factory(
+            chunked=stream, chunk_size=chunk_size
+        ),
         scheduler_factories=config.make_schedulers(definition.schedulers),
         vm_counts=config.vm_counts,
         num_cloudlets=config.num_cloudlets,
         seeds=config.seeds,
-        engine=definition.engine,
+        engine=engine,
         progress=progress,
         workers=workers,
         cache=cache,
+        chunk_size=chunk_size,
     )
     return aggregate(definition, records, list(config.vm_counts))
 

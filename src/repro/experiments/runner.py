@@ -33,15 +33,36 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Literal
 
 from repro.cache import ResultCache, cache_key_manifest
-from repro.cloud.fast import FastSimulation
+from repro.cloud.fast import FastSimulation, StreamingResult, StreamingSimulation
 from repro.cloud.simulation import CloudSimulation, SimulationResult
 from repro.obs.telemetry import TELEMETRY, TelemetrySnapshot
 from repro.schedulers import Scheduler
 from repro.workloads.spec import ScenarioSpec
 
-Engine = Literal["des", "fast"]
+Engine = Literal["des", "fast", "stream"]
 ScenarioFactory = Callable[[int, int, int], ScenarioSpec]
-"""(num_vms, num_cloudlets, seed) -> scenario"""
+"""(num_vms, num_cloudlets, seed) -> scenario (a ScenarioSpec, or a
+ScenarioChunks when the factory is a chunked family)"""
+
+
+def _as_stream(scenario, chunk_size: int | None):
+    """Coerce a scenario to a ScenarioChunks for the streaming engine.
+
+    A :class:`~repro.workloads.streaming.ScenarioChunks` passes through
+    (re-chunked if ``chunk_size`` disagrees); a materialised
+    :class:`~repro.workloads.spec.ScenarioSpec` is wrapped — its columns
+    already exist in memory, so wrapping costs nothing extra and small
+    differential tests can stream the exact same workload.
+    """
+    from repro.workloads.streaming import DEFAULT_CHUNK_SIZE, ScenarioChunks
+
+    if isinstance(scenario, ScenarioChunks):
+        if chunk_size is not None and scenario.chunk_size != chunk_size:
+            return scenario.with_chunk_size(chunk_size)
+        return scenario
+    return ScenarioChunks.from_spec(
+        scenario, chunk_size=chunk_size or DEFAULT_CHUNK_SIZE
+    )
 
 
 @dataclass(frozen=True)
@@ -60,7 +81,11 @@ class SweepRecord:
 
     @classmethod
     def from_result(
-        cls, result: SimulationResult, num_vms: int, num_cloudlets: int, seed: int
+        cls,
+        result: "SimulationResult | StreamingResult",
+        num_vms: int,
+        num_cloudlets: int,
+        seed: int,
     ) -> "SweepRecord":
         return cls(
             scheduler=result.scheduler_name,
@@ -88,7 +113,8 @@ def run_point(
     seed: int,
     engine: Engine = "des",
     cache: "ResultCache | str | None" = None,
-) -> SimulationResult:
+    chunk_size: int | None = None,
+) -> "SimulationResult | StreamingResult":
     """Execute one (scenario, scheduler) cell on the chosen engine.
 
     With ``cache`` (a :class:`repro.cache.ResultCache` or a directory
@@ -97,7 +123,21 @@ def run_point(
     that wall-clock fields carry the *cold* run's measured values — and a
     miss computes, stores, and returns.  The key is derived before the
     scheduler runs, so mutable scheduler state never leaks into it.
+
+    ``engine="stream"`` runs the memory-bounded
+    :class:`~repro.cloud.fast.StreamingSimulation` and returns a
+    :class:`~repro.cloud.fast.StreamingResult` (per-VM aggregates, no
+    per-cloudlet arrays).  ``scenario`` may then be a
+    :class:`~repro.workloads.streaming.ScenarioChunks` (the paper-scale
+    path — nothing is ever materialised) or a plain spec (wrapped);
+    ``chunk_size`` overrides the stream's chunking and, like the chunk
+    count, participates in the cache key.  Other engines ignore
+    ``chunk_size`` and materialise a chunked scenario via ``to_spec()``.
     """
+    if engine == "stream":
+        scenario = _as_stream(scenario, chunk_size)
+    elif hasattr(scenario, "to_spec"):
+        scenario = scenario.to_spec()
     cache = ResultCache.coerce(cache)
     key = manifest = None
     if cache is not None:
@@ -110,6 +150,8 @@ def run_point(
         result = CloudSimulation(scenario, scheduler, seed=seed).run()
     elif engine == "fast":
         result = FastSimulation(scenario, scheduler, seed=seed).run()
+    elif engine == "stream":
+        result = StreamingSimulation(scenario, scheduler, seed=seed).run()
     else:
         raise ValueError(f"unknown engine {engine!r}")
     if cache is not None:
@@ -125,6 +167,7 @@ def _run_cell(
     seed: int,
     engine: Engine,
     cache: "ResultCache | None" = None,
+    chunk_size: int | None = None,
 ) -> list[SweepRecord]:
     """Execute one (num_vms, seed) cell: all schedulers on a shared scenario.
 
@@ -136,9 +179,18 @@ def _run_cell(
     stored.
     """
     scenario = scenario_factory(num_vms, num_cloudlets, seed)
+    if engine == "stream":
+        scenario = _as_stream(scenario, chunk_size)
     records: list[SweepRecord] = []
     for name, factory in scheduler_factories.items():
-        result = run_point(scenario, factory(), seed=seed, engine=engine, cache=cache)
+        result = run_point(
+            scenario,
+            factory(),
+            seed=seed,
+            engine=engine,
+            cache=cache,
+            chunk_size=chunk_size,
+        )
         record = SweepRecord.from_result(result, num_vms, num_cloudlets, seed)
         if record.scheduler != name:
             raise RuntimeError(
@@ -156,6 +208,7 @@ def _run_cell_cache_misses(
     seed: int,
     engine: Engine,
     cache_root: str,
+    chunk_size: int | None = None,
 ) -> list[SweepRecord]:
     """Worker-side runner for the cache-missing schedulers of one cell.
 
@@ -166,11 +219,15 @@ def _run_cell_cache_misses(
     """
     cache = ResultCache(cache_root)
     scenario = scenario_factory(num_vms, num_cloudlets, seed)
+    if engine == "stream":
+        scenario = _as_stream(scenario, chunk_size)
     records: list[SweepRecord] = []
     for name, factory in miss_factories.items():
         scheduler = factory()
         manifest = cache_key_manifest(scenario, scheduler, seed, engine)
-        result = run_point(scenario, scheduler, seed=seed, engine=engine)
+        result = run_point(
+            scenario, scheduler, seed=seed, engine=engine, chunk_size=chunk_size
+        )
         cache.put(manifest.fingerprint(), result, manifest)
         record = SweepRecord.from_result(result, num_vms, num_cloudlets, seed)
         if record.scheduler != name:
@@ -206,6 +263,7 @@ def run_sweep(
     progress: Callable[[str], None] | None = None,
     workers: int | None = None,
     cache: "ResultCache | str | None" = None,
+    chunk_size: int | None = None,
 ) -> list[SweepRecord]:
     """Run the full (scheduler × vm_count × seed) grid.
 
@@ -238,6 +296,10 @@ def run_sweep(
         dispatch and only the missing (scheduler, cell) pairs are shipped
         to the spawn pool; misses are published to the shared cache by the
         worker that computed them via atomic renames.
+    chunk_size:
+        Streaming chunk size, forwarded to the ``"stream"`` engine (other
+        engines ignore it).  Streaming metrics are chunk-size-invariant,
+        but the chunk geometry is part of the cache key.
 
     Determinism contract: each cell derives every random stream from its
     own ``seed`` argument (scenario synthesis and the per-simulation
@@ -271,6 +333,7 @@ def run_sweep(
                     seed,
                     engine,
                     cache,
+                    chunk_size,
                 )
             )
         return records
@@ -308,6 +371,8 @@ def run_sweep(
                     num_cloudlets,
                     seed,
                     engine,
+                    None,
+                    chunk_size,
                 )
                 for num_vms, seed in cells
             ]
@@ -321,6 +386,8 @@ def run_sweep(
         pending: list[tuple[dict[str, SweepRecord], list[str], object | None]] = []
         for num_vms, seed in cells:
             scenario = scenario_factory(num_vms, num_cloudlets, seed)
+            if engine == "stream":
+                scenario = _as_stream(scenario, chunk_size)
             hit_records: dict[str, SweepRecord] = {}
             miss_factories: dict[str, Callable[[], Scheduler]] = {}
             for name, factory in scheduler_factories.items():
@@ -347,6 +414,7 @@ def run_sweep(
                     seed,
                     engine,
                     str(cache.root),
+                    chunk_size,
                 )
             pending.append((hit_records, list(miss_factories), future))
 

@@ -185,13 +185,18 @@ def capture_manifest(
     """
     scenario_summary = None
     if scenario is not None:
-        scenario_summary = {
-            "name": scenario.name,
-            "num_vms": len(scenario.vms),
-            "num_cloudlets": len(scenario.cloudlets),
-            "num_datacenters": len(scenario.datacenters),
-            "seed": scenario.seed,
-        }
+        if hasattr(scenario, "manifest_summary"):
+            # Chunked scenarios (repro.workloads.streaming.ScenarioChunks)
+            # summarise themselves without materialising the workload.
+            scenario_summary = dict(scenario.manifest_summary())
+        else:
+            scenario_summary = {
+                "name": scenario.name,
+                "num_vms": len(scenario.vms),
+                "num_cloudlets": len(scenario.cloudlets),
+                "num_datacenters": len(scenario.datacenters),
+                "seed": scenario.seed,
+            }
     scheduler_summary = None
     if scheduler is not None:
         scheduler_summary = {

@@ -12,6 +12,12 @@ plus related-work baselines and extensions used by the ablation benches:
 Max-Min [4], Min-Min, greedy minimum-completion-time, uniform random,
 priority-based [25], discrete PSO [18], GA [6], and the future-work
 :class:`HybridScheduler` sketched in the paper's conclusion.
+
+``streaming`` provides chunk-at-a-time counterparts (the
+:class:`StreamingScheduler` protocol) for the four paper algorithms,
+bit-identical to the batch implementations; :func:`as_streaming` adapts
+any batch scheduler, falling back to in-memory materialisation for the
+population metaheuristics.
 """
 
 from repro.schedulers.aco import AntColonyScheduler
@@ -37,6 +43,18 @@ from repro.schedulers.pso import ParticleSwarmScheduler
 from repro.schedulers.random_assign import RandomScheduler
 from repro.schedulers.rbs import RandomBiasedSamplingScheduler
 from repro.schedulers.round_robin import RoundRobinScheduler
+from repro.schedulers.streaming import (
+    STREAMING_SCHEDULERS,
+    ChunkAssigner,
+    InMemoryFallback,
+    StreamingGreedy,
+    StreamingHoneyBee,
+    StreamingRandomBiasedSampling,
+    StreamingRoundRobin,
+    StreamingScheduler,
+    as_streaming,
+    make_streaming_scheduler,
+)
 
 #: All scheduler classes keyed by their registry name.
 SCHEDULER_REGISTRY: dict[str, type[Scheduler]] = {
@@ -101,4 +119,14 @@ __all__ = [
     "SCHEDULER_REGISTRY",
     "PAPER_SCHEDULERS",
     "make_scheduler",
+    "StreamingScheduler",
+    "ChunkAssigner",
+    "StreamingRoundRobin",
+    "StreamingGreedy",
+    "StreamingHoneyBee",
+    "StreamingRandomBiasedSampling",
+    "InMemoryFallback",
+    "STREAMING_SCHEDULERS",
+    "make_streaming_scheduler",
+    "as_streaming",
 ]

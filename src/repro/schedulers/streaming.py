@@ -1,0 +1,484 @@
+"""Streaming scheduler protocol: batch admission over scenario chunks.
+
+A :class:`StreamingScheduler` consumes a
+:class:`~repro.workloads.streaming.ScenarioChunks` without materialising
+the full workload: :meth:`StreamingScheduler.open` creates a fresh
+:class:`ChunkAssigner` whose :meth:`ChunkAssigner.assign` maps each
+cloudlet chunk to VM indices, carrying per-VM accumulator state across
+chunks.  Because every ``open()`` builds its state from scratch, two runs
+of one scheduler instance can never leak accumulators into each other —
+the property suite pins this for the in-memory schedulers too.
+
+Every streaming implementation is **assignment-bit-equal** to its
+in-memory counterpart for any chunk size (pinned in ``tests/properties``):
+
+* round-robin and greedy replicate the monolithic per-index arithmetic
+  exactly (greedy additionally has an exact heap fast path for uniform
+  fleets, making the paper's 10^6-cloudlet points feasible);
+* HBO needs the *global* group ordering of Algorithm 1, so its assigner
+  buffers one O(n) length column and one O(n) assignment buffer during
+  ``open()`` — the documented exception to O(chunk) memory (~16 MB at the
+  paper's 10^6 cloudlets, still far below the in-memory path);
+* RBS pre-draws its per-cloudlet walk lengths and start groups in one
+  monolithic-order pass (interleaving bounded-integer draws per chunk
+  would diverge from the monolithic stream because of rejection
+  sampling), stores them as int32, and walks chunk by chunk.
+
+Schedulers without a streaming form (the metaheuristics) are explicitly
+in-memory-only: :func:`as_streaming` wraps them in
+:class:`InMemoryFallback`, which materialises the stream via
+``ScenarioChunks.to_spec()`` and schedules once.
+
+Example::
+
+    >>> import numpy as np
+    >>> from repro.core.rng import spawn_rng
+    >>> from repro.workloads.streaming import homogeneous_stream
+    >>> from repro.schedulers.streaming import make_streaming_scheduler
+    >>> stream = homogeneous_stream(3, 8, chunk_size=5, seed=0)
+    >>> assigner = make_streaming_scheduler("basetest").open(
+    ...     stream, spawn_rng(0, f"scheduler/{stream.name}"))
+    >>> [assigner.assign(chunk, off).tolist() for off, chunk in stream]
+    [[0, 1, 2, 0, 1], [2, 0, 1]]
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+from typing import Any
+
+import numpy as np
+
+from repro.obs.telemetry import TELEMETRY as _TEL
+from repro.schedulers.base import Scheduler, SchedulingContext
+from repro.workloads.spec import ScenarioArrays
+from repro.workloads.streaming import ScenarioChunks
+
+
+class ChunkAssigner(abc.ABC):
+    """Per-run assignment state; produced by :meth:`StreamingScheduler.open`.
+
+    ``assign`` is called once per chunk, in index order, and must return
+    the chunk's cloudlet→VM mapping.  All cross-chunk state lives on the
+    assigner, never on the scheduler, so reusing a scheduler instance is
+    always safe.
+    """
+
+    @abc.abstractmethod
+    def assign(self, chunk: ScenarioArrays, offset: int) -> np.ndarray:
+        """VM indices (int64, one per chunk cloudlet) for this chunk."""
+
+    def info(self) -> dict[str, Any]:
+        """Diagnostics mirroring ``SchedulingResult.info`` (after the run)."""
+        return {}
+
+
+class StreamingScheduler(abc.ABC):
+    """A scheduling policy that admits cloudlets chunk by chunk."""
+
+    #: True for native chunk-wise policies; the in-memory fallback says False.
+    streaming_native = True
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Registry name — identical to the in-memory counterpart's."""
+
+    @abc.abstractmethod
+    def open(self, stream: ScenarioChunks, rng: np.random.Generator) -> ChunkAssigner:
+        """Create fresh per-run state (may pre-scan the re-iterable stream)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+# -- round robin ------------------------------------------------------------
+
+
+class StreamingRoundRobin(StreamingScheduler):
+    """Chunked Base Test: cloudlet ``i`` → VM ``(i + start_offset) % m``."""
+
+    def __init__(self, start_offset: int = 0) -> None:
+        if start_offset < 0:
+            raise ValueError(f"start_offset must be non-negative, got {start_offset}")
+        self.start_offset = start_offset
+
+    @property
+    def name(self) -> str:
+        return "basetest"
+
+    def open(self, stream: ScenarioChunks, rng: np.random.Generator) -> ChunkAssigner:
+        m = stream.num_vms
+        start = self.start_offset
+
+        class Assigner(ChunkAssigner):
+            def assign(self, chunk: ScenarioArrays, offset: int) -> np.ndarray:
+                k = chunk.num_cloudlets
+                return (np.arange(offset, offset + k, dtype=np.int64) + start) % m
+
+        return Assigner()
+
+
+# -- greedy MCT -------------------------------------------------------------
+
+
+class StreamingGreedy(StreamingScheduler):
+    """Chunked greedy-MCT carrying the per-VM ``ready`` vector across chunks.
+
+    The general path repeats the monolithic per-index arithmetic verbatim
+    (same expression, same ``argmin`` tie-breaking), so assignments are
+    bit-equal for every chunk size.  Uniform fleets (equal MIPS and PEs)
+    use a heap of ``(ready, vm)`` pairs: with a constant execution time the
+    argmin over ``ready + c`` is the lexicographically smallest pair, so
+    the heap is exact while dropping the O(n·m) scan to O(n log m).
+    """
+
+    @property
+    def name(self) -> str:
+        return "greedy-mct"
+
+    def open(self, stream: ScenarioChunks, rng: np.random.Generator) -> ChunkAssigner:
+        m = stream.num_vms
+        inv_capacity = 1.0 / (stream.vm_mips * stream.vm_pes)
+        uniform = float(np.ptp(stream.vm_mips)) == 0.0 and float(np.ptp(stream.vm_pes)) == 0.0
+
+        if uniform:
+            inv = float(inv_capacity[0])
+            heap = [(0.0, vm) for vm in range(m)]
+
+            class Assigner(ChunkAssigner):
+                def assign(self, chunk: ScenarioArrays, offset: int) -> np.ndarray:
+                    lengths = chunk.cloudlet_length
+                    out = np.empty(lengths.shape[0], dtype=np.int64)
+                    for i in range(lengths.shape[0]):
+                        ready, vm = heapq.heappop(heap)
+                        heapq.heappush(heap, (ready + lengths[i] * inv, vm))
+                        out[i] = vm
+                    return out
+
+                def info(self) -> dict[str, Any]:
+                    return {"estimated_makespan": float(max(r for r, _ in heap))}
+
+            return Assigner()
+
+        ready = np.zeros(m)
+
+        class Assigner(ChunkAssigner):
+            def assign(self, chunk: ScenarioArrays, offset: int) -> np.ndarray:
+                lengths = chunk.cloudlet_length
+                out = np.empty(lengths.shape[0], dtype=np.int64)
+                for i in range(lengths.shape[0]):
+                    completion = ready + lengths[i] * inv_capacity
+                    j = int(np.argmin(completion))
+                    out[i] = j
+                    ready[j] = completion[j]
+                return out
+
+            def info(self) -> dict[str, Any]:
+                return {"estimated_makespan": float(ready.max())}
+
+        return Assigner()
+
+
+# -- HBO --------------------------------------------------------------------
+
+
+class _PrecomputedAssigner(ChunkAssigner):
+    """Serves index-ordered slices of a fully precomputed assignment."""
+
+    def __init__(self, assignment: np.ndarray, info: dict[str, Any]) -> None:
+        self.assignment = assignment
+        self._info = info
+
+    def assign(self, chunk: ScenarioArrays, offset: int) -> np.ndarray:
+        return self.assignment[offset : offset + chunk.num_cloudlets]
+
+    def info(self) -> dict[str, Any]:
+        return dict(self._info)
+
+
+class StreamingHoneyBee(StreamingScheduler):
+    """Chunked HBO (Algorithm 1), bit-equal to the in-memory scheduler.
+
+    Algorithm 1 orders cloudlet *groups* by descending total length before
+    any assignment happens, so the decision for the first chunk depends on
+    the whole workload.  ``open()`` therefore streams the length column
+    once into an O(n) buffer (float64), replays the monolithic algorithm
+    over it — including the pairwise group sums, so the ordering matches
+    ``HoneyBeeScheduler`` bit-for-bit — and serves the resulting O(n)
+    int64 assignment chunk by chunk.  These two buffers are the documented
+    exception to the O(chunk_size) memory model (~16 MB at 10^6
+    cloudlets); every other column stays chunked.
+    """
+
+    def __init__(
+        self, load_balance_factor: float = 0.5, scout_time_bias: float = 0.0
+    ) -> None:
+        if not 0 < load_balance_factor <= 1:
+            raise ValueError(
+                f"load_balance_factor must be in (0, 1], got {load_balance_factor}"
+            )
+        if scout_time_bias < 0:
+            raise ValueError(f"scout_time_bias must be non-negative, got {scout_time_bias}")
+        self.load_balance_factor = load_balance_factor
+        self.scout_time_bias = scout_time_bias
+
+    @property
+    def name(self) -> str:
+        return "honeybee"
+
+    def open(self, stream: ScenarioChunks, rng: np.random.Generator) -> ChunkAssigner:
+        from repro.schedulers.hbo import HoneyBeeScheduler
+
+        n, q = stream.num_cloudlets, stream.num_datacenters
+        cloudlet_length = np.empty(n)
+        for offset, chunk in stream:
+            cloudlet_length[offset : offset + chunk.num_cloudlets] = chunk.cloudlet_length
+
+        dc_vms: list[np.ndarray] = [
+            np.flatnonzero(stream.vm_datacenter == dc) for dc in range(q)
+        ]
+        with _TEL.span("hbo.forage"):
+            unit_cost = np.full(q, np.inf)
+            for dc in range(q):
+                members = dc_vms[dc]
+                if members.size == 0:
+                    continue
+                unit_cost[dc] = (
+                    stream.vm_size[members].mean() * stream.dc_cost_per_storage[dc]
+                    + stream.vm_ram[members].mean() * stream.dc_cost_per_mem[dc]
+                    + stream.vm_bw[members].mean() * stream.dc_cost_per_bw[dc]
+                )
+            dc_rank = np.argsort(unit_cost, kind="stable")
+
+        loads: list[np.ndarray] = [np.zeros(members.size) for members in dc_vms]
+        inv_mips: list[np.ndarray] = [
+            1.0 / (stream.vm_mips[members] * stream.vm_pes[members])
+            for members in dc_vms
+        ]
+        uniform: list[bool] = [
+            members.size > 0 and float(np.ptp(stream.vm_mips[members])) == 0.0
+            for members in dc_vms
+        ]
+        heaps: list[list[tuple[float, int]]] = [
+            [(0.0, pos) for pos in range(members.size)] if uniform[dc] else []
+            for dc, members in enumerate(dc_vms)
+        ]
+
+        cap = max(1, int(np.ceil(self.load_balance_factor * n)))
+        assigned_per_dc = np.zeros(q, dtype=np.int64)
+        assignment = np.full(n, -1, dtype=np.int64)
+        spills = 0
+
+        with _TEL.span("hbo.scout"):
+            groups = HoneyBeeScheduler._divide(n, q)
+            group_order = sorted(
+                range(len(groups)),
+                key=lambda g: float(cloudlet_length[groups[g]].sum()),
+                reverse=True,
+            )
+            for g in group_order:
+                for cloudlet_idx in groups[g]:
+                    dc = HoneyBeeScheduler._pick_datacenter(
+                        dc_rank, assigned_per_dc, cap, dc_vms
+                    )
+                    if dc != dc_rank[0]:
+                        spills += 1
+                    length = float(cloudlet_length[cloudlet_idx])
+                    if uniform[dc]:
+                        backlog, pos = heapq.heappop(heaps[dc])
+                        exec_seconds = length * inv_mips[dc][pos]
+                        heapq.heappush(heaps[dc], (backlog + exec_seconds, pos))
+                    else:
+                        exec_seconds = length * inv_mips[dc]
+                        key = loads[dc] + self.scout_time_bias * exec_seconds
+                        pos = int(np.argmin(key))
+                        loads[dc][pos] += exec_seconds[pos]
+                    assignment[cloudlet_idx] = dc_vms[dc][pos]
+                    assigned_per_dc[dc] += 1
+
+        return _PrecomputedAssigner(
+            assignment,
+            {
+                "dc_unit_cost": unit_cost.tolist(),
+                "assigned_per_dc": assigned_per_dc.tolist(),
+                "spills": spills,
+                "cap_per_dc": cap,
+            },
+        )
+
+
+# -- RBS --------------------------------------------------------------------
+
+
+class StreamingRandomBiasedSampling(StreamingScheduler):
+    """Chunked RBS (Algorithm 3), bit-equal to the in-memory scheduler.
+
+    The monolithic scheduler draws all ``n`` walk lengths and then all
+    ``n`` start groups from one generator; bounded-integer draws use
+    rejection sampling, so interleaving per-chunk draws would consume the
+    stream differently and diverge.  ``open()`` therefore pre-draws both
+    sequences in monolithic order and keeps them as int32 (8 bytes per
+    cloudlet — the RBS exception to O(chunk) memory); the walk state
+    (per-group NID, free total, cyclic cursors) carries across chunks.
+    """
+
+    def __init__(self, num_groups: int | None = None) -> None:
+        if num_groups is not None and num_groups < 1:
+            raise ValueError(f"num_groups must be >= 1, got {num_groups}")
+        self.num_groups = num_groups
+
+    @property
+    def name(self) -> str:
+        return "rbs"
+
+    def open(self, stream: ScenarioChunks, rng: np.random.Generator) -> ChunkAssigner:
+        n, m = stream.num_cloudlets, stream.num_vms
+        q = self.num_groups if self.num_groups is not None else min(4, m)
+        q = min(q, m)
+        groups = [
+            chunk.tolist() for chunk in np.array_split(np.arange(m), q) if chunk.size
+        ]
+        q = len(groups)
+        group_sizes = [len(g) for g in groups]
+
+        omegas = rng.integers(1, q + 1, size=n).astype(np.int32)
+        starts = rng.integers(0, q, size=n).astype(np.int32)
+
+        class Assigner(ChunkAssigner):
+            def __init__(self) -> None:
+                self.nid = list(group_sizes)
+                self.free_total = sum(group_sizes)
+                self.cursor = [0] * q
+                self.walks_total = 0
+
+            def assign(self, chunk: ScenarioArrays, offset: int) -> np.ndarray:
+                k = chunk.num_cloudlets
+                out = np.empty(k, dtype=np.int64)
+                nid, cursor = self.nid, self.cursor
+                free_total, walks = self.free_total, 0
+                with _TEL.span("rbs.walk"):
+                    for i in range(k):
+                        omega = int(omegas[offset + i])
+                        g = int(starts[offset + i])
+                        if free_total == 0:
+                            nid[:] = group_sizes
+                            free_total = sum(group_sizes)
+                        while not (omega > g and nid[g] > 0):
+                            omega += 1
+                            g += 1
+                            if g == q:
+                                g = 0
+                            walks += 1
+                        members = groups[g]
+                        c = cursor[g]
+                        out[i] = members[c]
+                        cursor[g] = c + 1 if c + 1 < len(members) else 0
+                        nid[g] -= 1
+                        free_total -= 1
+                self.free_total = free_total
+                self.walks_total += walks
+                if _TEL.enabled:
+                    _TEL.count("rbs.walk_hops", walks)
+                return out
+
+            def info(self) -> dict[str, Any]:
+                return {
+                    "num_groups": q,
+                    "mean_walk_length": self.walks_total / n if n else 0.0,
+                }
+
+        return Assigner()
+
+
+# -- fallback for in-memory-only schedulers ---------------------------------
+
+
+class InMemoryFallback(StreamingScheduler):
+    """Adapter declaring a policy in-memory-only.
+
+    ``open()`` materialises the stream via ``ScenarioChunks.to_spec()``
+    (O(n) memory — the point of the declaration), runs the wrapped
+    scheduler once over the full context, and serves the assignment in
+    chunk slices.  The scheduler sees the same RNG the streaming engine
+    derived, so results match ``FastSimulation`` on the equivalent spec.
+    """
+
+    streaming_native = False
+
+    def __init__(self, scheduler: Scheduler) -> None:
+        self.scheduler = scheduler
+
+    @property
+    def name(self) -> str:
+        return self.scheduler.name
+
+    def open(self, stream: ScenarioChunks, rng: np.random.Generator) -> ChunkAssigner:
+        spec = stream.to_spec()
+        context = SchedulingContext(
+            arrays=spec.arrays(), rng=rng, scenario_name=spec.name
+        )
+        decision = self.scheduler.schedule_checked(context)
+        return _PrecomputedAssigner(decision.assignment, dict(decision.info))
+
+
+#: Native streaming implementations keyed by registry name.
+STREAMING_SCHEDULERS: dict[str, type[StreamingScheduler]] = {
+    "basetest": StreamingRoundRobin,
+    "greedy-mct": StreamingGreedy,
+    "honeybee": StreamingHoneyBee,
+    "rbs": StreamingRandomBiasedSampling,
+}
+
+
+def make_streaming_scheduler(name: str, **kwargs) -> StreamingScheduler:
+    """Instantiate a native streaming scheduler by registry name."""
+    try:
+        cls = STREAMING_SCHEDULERS[name]
+    except KeyError:
+        raise ValueError(
+            f"no native streaming scheduler {name!r}; "
+            f"available: {sorted(STREAMING_SCHEDULERS)} "
+            "(others run through as_streaming()'s in-memory fallback)"
+        ) from None
+    return cls(**kwargs)
+
+
+def as_streaming(scheduler: "Scheduler | StreamingScheduler") -> StreamingScheduler:
+    """The streaming counterpart of an in-memory scheduler.
+
+    Native implementations (round-robin, greedy, HBO, RBS) are constructed
+    with the wrapped scheduler's own parameters; anything else — the
+    metaheuristics in particular — is wrapped in :class:`InMemoryFallback`,
+    which materialises the workload before scheduling.
+    """
+    if isinstance(scheduler, StreamingScheduler):
+        return scheduler
+    name = scheduler.name
+    if name == "basetest":
+        return StreamingRoundRobin(start_offset=scheduler.start_offset)
+    if name == "greedy-mct":
+        return StreamingGreedy()
+    if name == "honeybee":
+        return StreamingHoneyBee(
+            load_balance_factor=scheduler.load_balance_factor,
+            scout_time_bias=scheduler.scout_time_bias,
+        )
+    if name == "rbs":
+        return StreamingRandomBiasedSampling(num_groups=scheduler.num_groups)
+    return InMemoryFallback(scheduler)
+
+
+__all__ = [
+    "ChunkAssigner",
+    "StreamingScheduler",
+    "StreamingRoundRobin",
+    "StreamingGreedy",
+    "StreamingHoneyBee",
+    "StreamingRandomBiasedSampling",
+    "InMemoryFallback",
+    "STREAMING_SCHEDULERS",
+    "make_streaming_scheduler",
+    "as_streaming",
+]

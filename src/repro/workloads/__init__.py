@@ -5,7 +5,9 @@
 ``heterogeneous`` encode the paper's two experimental setups (Tables III-VII).
 ``synthetic`` provides a general distribution-driven generator used by the
 extension experiments, and ``traces`` round-trips scenarios through CSV/JSON
-for offline workloads.
+for offline workloads.  ``streaming`` generates the same scenarios one
+fixed-size chunk at a time (bit-identical columns, bounded memory) for the
+paper-scale streaming engine.
 """
 
 from repro.workloads.arrivals import (
@@ -24,6 +26,12 @@ from repro.workloads.spec import (
     ScenarioSpec,
     VmSpec,
 )
+from repro.workloads.streaming import (
+    DEFAULT_CHUNK_SIZE,
+    ScenarioChunks,
+    heterogeneous_stream,
+    homogeneous_stream,
+)
 from repro.workloads.synthetic import (
     DistributionSpec,
     SyntheticWorkloadBuilder,
@@ -38,6 +46,10 @@ __all__ = [
     "ScenarioSpec",
     "homogeneous_scenario",
     "heterogeneous_scenario",
+    "ScenarioChunks",
+    "homogeneous_stream",
+    "heterogeneous_stream",
+    "DEFAULT_CHUNK_SIZE",
     "DistributionSpec",
     "SyntheticWorkloadBuilder",
     "save_scenario",

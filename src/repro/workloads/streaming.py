@@ -1,0 +1,501 @@
+"""Chunked scenario generation for the streaming execution path.
+
+The paper's homogeneous study (Figs. 4-5) runs 1 000 000 cloudlets; the
+monolithic :class:`~repro.workloads.spec.ScenarioSpec` route materialises
+every cloudlet as a Python object plus fourteen full-length numpy columns.
+:class:`ScenarioChunks` instead keeps only the O(num_vms) VM/datacenter
+columns resident and synthesises the cloudlet columns chunk by chunk, so
+the peak footprint of a sweep point is O(num_vms + chunk_size) regardless
+of the cloudlet count.
+
+Chunking never changes the workload: every chunk pass re-derives its
+random streams from the same ``(seed, label)`` pair the monolithic
+generators use, and ``numpy.random.Generator`` draws are consumed
+sequentially, so the concatenation of the chunked columns is bit-for-bit
+identical to the monolithic arrays (pinned by ``tests/properties``).
+
+Example — chunked generation matches the monolithic arrays exactly::
+
+    >>> import numpy as np
+    >>> from repro.workloads.homogeneous import homogeneous_scenario
+    >>> from repro.workloads.streaming import ScenarioChunks, homogeneous_stream
+    >>> stream = homogeneous_stream(4, 10, chunk_size=3, seed=0)
+    >>> stream.num_chunks
+    4
+    >>> spec = homogeneous_scenario(4, 10, seed=0)
+    >>> chunks = [c.cloudlet_length for _, c in stream]
+    >>> bool(np.array_equal(np.concatenate(chunks), spec.arrays().cloudlet_length))
+    True
+    >>> stream.name == spec.name
+    True
+
+Streams are re-iterable (each pass restarts the derived generators) and
+picklable, so they ship to spawn-based sweep workers like specs do::
+
+    >>> first = [c.cloudlet_length.sum() for _, c in stream]
+    >>> second = [c.cloudlet_length.sum() for _, c in stream]
+    >>> first == second
+    True
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.cloud.characteristics import DatacenterCharacteristics
+from repro.core.rng import spawn_rng
+from repro.workloads.heterogeneous import (
+    CLOUDLET_FILE_SIZE,
+    CLOUDLET_LENGTH_RANGE,
+    CLOUDLET_OUTPUT_SIZE,
+    COST_PER_BW_RANGE,
+    COST_PER_CPU,
+    COST_PER_MEM_RANGE,
+    COST_PER_STORAGE_RANGE,
+    VM_BW,
+    VM_MIPS_RANGE,
+    VM_RAM,
+    VM_SIZE,
+)
+from repro.workloads.homogeneous import HOMOGENEOUS_CLOUDLET, HOMOGENEOUS_VM
+from repro.workloads.spec import (
+    CloudletSpec,
+    DatacenterSpec,
+    ScenarioArrays,
+    ScenarioSpec,
+    VmSpec,
+)
+
+#: Default slice width of the streaming path.  64k cloudlets keep every
+#: per-chunk temporary around half a megabyte while amortising numpy call
+#: overhead; ``benchmarks/bench_paperscale_homogeneous.py`` sweeps this.
+DEFAULT_CHUNK_SIZE = 65_536
+
+#: cloudlet columns a chunk source must produce, in ScenarioArrays order.
+_CLOUDLET_FIELDS = (
+    "cloudlet_length",
+    "cloudlet_pes",
+    "cloudlet_file_size",
+    "cloudlet_output_size",
+)
+
+
+class _ChunkPass:
+    """One sequential pass over a cloudlet source (see ``open_pass``)."""
+
+    def take(self, k: int) -> dict[str, np.ndarray]:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantCloudlets:
+    """Cloudlet source for identical cloudlets (the homogeneous workload)."""
+
+    length: float
+    pes: int = 1
+    file_size: float = 300.0
+    output_size: float = 300.0
+
+    def open_pass(self, seed: int | None) -> _ChunkPass:
+        source = self
+
+        class Pass(_ChunkPass):
+            def take(self, k: int) -> dict[str, np.ndarray]:
+                return {
+                    "cloudlet_length": np.full(k, source.length, dtype=float),
+                    "cloudlet_pes": np.full(k, source.pes, dtype=np.int64),
+                    "cloudlet_file_size": np.full(k, source.file_size, dtype=float),
+                    "cloudlet_output_size": np.full(k, source.output_size, dtype=float),
+                }
+
+        return Pass()
+
+
+@dataclass(frozen=True)
+class UniformLengthCloudlets:
+    """Cloudlet source drawing lengths uniformly (heterogeneous workload).
+
+    Each pass spawns a fresh generator from ``(seed, rng_label)``; since
+    ``Generator.uniform`` consumes exactly one state advance per output,
+    chunked draws concatenate to the monolithic ``uniform(size=n)`` array
+    bit-for-bit.
+    """
+
+    low: float
+    high: float
+    pes: int = 1
+    file_size: float = 300.0
+    output_size: float = 300.0
+    rng_label: str = "hetero/cloudlets"
+
+    def open_pass(self, seed: int | None) -> _ChunkPass:
+        source = self
+        rng = spawn_rng(seed, self.rng_label)
+
+        class Pass(_ChunkPass):
+            def take(self, k: int) -> dict[str, np.ndarray]:
+                return {
+                    "cloudlet_length": rng.uniform(source.low, source.high, size=k),
+                    "cloudlet_pes": np.full(k, source.pes, dtype=np.int64),
+                    "cloudlet_file_size": np.full(k, source.file_size, dtype=float),
+                    "cloudlet_output_size": np.full(k, source.output_size, dtype=float),
+                }
+
+        return Pass()
+
+
+@dataclass(frozen=True)
+class MaterializedCloudlets:
+    """Cloudlet source slicing pre-built columns (``ScenarioChunks.from_spec``).
+
+    Holds full-length columns, so it is *not* memory-bounded — it exists
+    for differential tests and for chunking scenarios that were already
+    materialised anyway.
+    """
+
+    cloudlet_length: np.ndarray
+    cloudlet_pes: np.ndarray
+    cloudlet_file_size: np.ndarray
+    cloudlet_output_size: np.ndarray
+
+    def open_pass(self, seed: int | None) -> _ChunkPass:
+        source = self
+
+        class Pass(_ChunkPass):
+            def __init__(self) -> None:
+                self.cursor = 0
+
+            def take(self, k: int) -> dict[str, np.ndarray]:
+                lo, hi = self.cursor, self.cursor + k
+                self.cursor = hi
+                return {name: getattr(source, name)[lo:hi] for name in _CLOUDLET_FIELDS}
+
+        return Pass()
+
+
+@dataclass(frozen=True)
+class ScenarioChunks:
+    """A scenario whose cloudlet columns are produced in fixed-size slices.
+
+    VM and datacenter columns (O(num_vms + num_datacenters)) are resident;
+    iterating yields ``(offset, ScenarioArrays)`` pairs whose cloudlet
+    columns cover ``[offset, offset + chunk)`` and whose VM/datacenter
+    columns are shared references to the resident arrays.  Instances are
+    immutable, re-iterable and picklable.
+    """
+
+    name: str
+    seed: int | None
+    chunk_size: int
+    num_cloudlets: int
+    cloudlets: Any  # ConstantCloudlets | UniformLengthCloudlets | MaterializedCloudlets
+    vm_mips: np.ndarray
+    vm_pes: np.ndarray
+    vm_ram: np.ndarray
+    vm_bw: np.ndarray
+    vm_size: np.ndarray
+    vm_datacenter: np.ndarray
+    dc_cost_per_mem: np.ndarray
+    dc_cost_per_storage: np.ndarray
+    dc_cost_per_bw: np.ndarray
+    dc_cost_per_cpu: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.num_cloudlets < 1:
+            raise ValueError(f"num_cloudlets must be >= 1, got {self.num_cloudlets}")
+        if self.vm_mips.shape[0] < 1:
+            raise ValueError("stream requires at least one VM")
+
+    # -- sizes --------------------------------------------------------------
+
+    @property
+    def num_vms(self) -> int:
+        return int(self.vm_mips.shape[0])
+
+    @property
+    def num_datacenters(self) -> int:
+        return int(self.dc_cost_per_cpu.shape[0])
+
+    @property
+    def num_chunks(self) -> int:
+        return -(-self.num_cloudlets // self.chunk_size)  # ceil division
+
+    # -- iteration ----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[tuple[int, ScenarioArrays]]:
+        chunk_pass = self.cloudlets.open_pass(self.seed)
+        offset = 0
+        while offset < self.num_cloudlets:
+            k = min(self.chunk_size, self.num_cloudlets - offset)
+            columns = chunk_pass.take(k)
+            yield offset, ScenarioArrays(
+                **columns,
+                vm_mips=self.vm_mips,
+                vm_pes=self.vm_pes,
+                vm_ram=self.vm_ram,
+                vm_bw=self.vm_bw,
+                vm_size=self.vm_size,
+                vm_datacenter=self.vm_datacenter,
+                dc_cost_per_mem=self.dc_cost_per_mem,
+                dc_cost_per_storage=self.dc_cost_per_storage,
+                dc_cost_per_bw=self.dc_cost_per_bw,
+                dc_cost_per_cpu=self.dc_cost_per_cpu,
+            )
+            offset += k
+
+    def with_chunk_size(self, chunk_size: int) -> "ScenarioChunks":
+        """The same workload re-sliced at a different chunk width."""
+        from dataclasses import replace
+
+        return replace(self, chunk_size=chunk_size)
+
+    # -- conversions --------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: ScenarioSpec, chunk_size: int = DEFAULT_CHUNK_SIZE) -> "ScenarioChunks":
+        """Chunked view over an already-materialised scenario.
+
+        Shares the spec's columns (no copies), so this is for differential
+        testing and convenience — it cannot reduce the footprint of a
+        scenario that already exists.
+        """
+        arr = spec.arrays()
+        return cls(
+            name=spec.name,
+            seed=spec.seed,
+            chunk_size=chunk_size,
+            num_cloudlets=spec.num_cloudlets,
+            cloudlets=MaterializedCloudlets(
+                cloudlet_length=arr.cloudlet_length,
+                cloudlet_pes=arr.cloudlet_pes,
+                cloudlet_file_size=arr.cloudlet_file_size,
+                cloudlet_output_size=arr.cloudlet_output_size,
+            ),
+            vm_mips=arr.vm_mips,
+            vm_pes=arr.vm_pes,
+            vm_ram=arr.vm_ram,
+            vm_bw=arr.vm_bw,
+            vm_size=arr.vm_size,
+            vm_datacenter=arr.vm_datacenter,
+            dc_cost_per_mem=arr.dc_cost_per_mem,
+            dc_cost_per_storage=arr.dc_cost_per_storage,
+            dc_cost_per_bw=arr.dc_cost_per_bw,
+            dc_cost_per_cpu=arr.dc_cost_per_cpu,
+        )
+
+    def to_spec(self) -> ScenarioSpec:
+        """Materialise the full monolithic :class:`ScenarioSpec`.
+
+        O(num_cloudlets) memory — this is the explicit escape hatch the
+        in-memory-only schedulers (metaheuristics) fall back through.
+        """
+        columns = {name: [] for name in _CLOUDLET_FIELDS}
+        for _, chunk in self:
+            for name in _CLOUDLET_FIELDS:
+                columns[name].append(getattr(chunk, name))
+        length, pes, file_size, output_size = (
+            np.concatenate(columns[name]) for name in _CLOUDLET_FIELDS
+        )
+        cloudlets = tuple(
+            CloudletSpec(
+                length=float(length[i]),
+                pes=int(pes[i]),
+                file_size=float(file_size[i]),
+                output_size=float(output_size[i]),
+            )
+            for i in range(self.num_cloudlets)
+        )
+        vms = tuple(
+            VmSpec(
+                mips=float(self.vm_mips[i]),
+                pes=int(self.vm_pes[i]),
+                ram=float(self.vm_ram[i]),
+                bw=float(self.vm_bw[i]),
+                size=float(self.vm_size[i]),
+            )
+            for i in range(self.num_vms)
+        )
+        datacenters = tuple(
+            DatacenterSpec(
+                characteristics=DatacenterCharacteristics(
+                    cost_per_mem=float(self.dc_cost_per_mem[d]),
+                    cost_per_storage=float(self.dc_cost_per_storage[d]),
+                    cost_per_bw=float(self.dc_cost_per_bw[d]),
+                    cost_per_cpu=float(self.dc_cost_per_cpu[d]),
+                )
+            )
+            for d in range(self.num_datacenters)
+        )
+        return ScenarioSpec(
+            name=self.name,
+            datacenters=datacenters,
+            vms=vms,
+            cloudlets=cloudlets,
+            vm_datacenter=tuple(int(d) for d in self.vm_datacenter),
+            seed=self.seed,
+        )
+
+    # -- identity -----------------------------------------------------------
+
+    def digest(self) -> str:
+        """SHA-256 digest of the full numeric content, chunk-size independent.
+
+        Cloudlet columns are folded through one streaming sub-hasher per
+        field during a single pass, then a master hash covers every field's
+        ``(name, dtype, digest-or-bytes)`` in sorted field order — so two
+        streams describing the same workload at different chunk sizes agree,
+        and any value change anywhere changes the digest.  (The scheme
+        differs from :func:`repro.cache.scenario_digest`; the cache never
+        compares the two because the engine string differs.)
+        """
+        sub = {name: hashlib.sha256() for name in _CLOUDLET_FIELDS}
+        dtypes: dict[str, str] = {}
+        for _, chunk in self:
+            for name in _CLOUDLET_FIELDS:
+                column = np.ascontiguousarray(getattr(chunk, name))
+                dtypes[name] = str(column.dtype)
+                sub[name].update(column.tobytes())
+        h = hashlib.sha256()
+        static = {
+            name: getattr(self, name)
+            for name in (
+                "vm_mips", "vm_pes", "vm_ram", "vm_bw", "vm_size", "vm_datacenter",
+                "dc_cost_per_mem", "dc_cost_per_storage", "dc_cost_per_bw",
+                "dc_cost_per_cpu",
+            )
+        }
+        for name in sorted(set(_CLOUDLET_FIELDS) | set(static)):
+            h.update(name.encode())
+            if name in sub:
+                h.update(dtypes[name].encode())
+                h.update(sub[name].hexdigest().encode())
+            else:
+                column = np.ascontiguousarray(static[name])
+                h.update(str(column.dtype).encode())
+                h.update(column.tobytes())
+        return h.hexdigest()
+
+    def manifest_summary(self) -> dict[str, Any]:
+        """Scenario summary for :func:`repro.obs.manifest.capture_manifest`."""
+        return {
+            "name": self.name,
+            "num_vms": self.num_vms,
+            "num_cloudlets": self.num_cloudlets,
+            "num_datacenters": self.num_datacenters,
+            "seed": self.seed,
+        }
+
+
+def homogeneous_stream(
+    num_vms: int,
+    num_cloudlets: int,
+    num_datacenters: int = 2,
+    seed: int | None = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    name: str | None = None,
+) -> ScenarioChunks:
+    """Chunked form of :func:`~repro.workloads.homogeneous.homogeneous_scenario`.
+
+    Same name, same seed, same columns bit-for-bit — only the cloudlet
+    columns are produced lazily, so the paper's 10^6-cloudlet points fit
+    in O(num_vms + chunk_size) memory.
+    """
+    if num_vms < 1 or num_cloudlets < 1 or num_datacenters < 1:
+        raise ValueError("num_vms, num_cloudlets and num_datacenters must be >= 1")
+    if num_datacenters > num_vms:
+        raise ValueError("cannot have more datacenters than VMs")
+    vm = HOMOGENEOUS_VM
+    cl = HOMOGENEOUS_CLOUDLET
+    return ScenarioChunks(
+        name=name or f"homogeneous-{num_vms}vms-{num_cloudlets}cl",
+        seed=seed,
+        chunk_size=chunk_size,
+        num_cloudlets=num_cloudlets,
+        cloudlets=ConstantCloudlets(
+            length=cl.length, pes=cl.pes,
+            file_size=cl.file_size, output_size=cl.output_size,
+        ),
+        vm_mips=np.full(num_vms, vm.mips, dtype=float),
+        vm_pes=np.full(num_vms, vm.pes, dtype=np.int64),
+        vm_ram=np.full(num_vms, vm.ram, dtype=float),
+        vm_bw=np.full(num_vms, vm.bw, dtype=float),
+        vm_size=np.full(num_vms, vm.size, dtype=float),
+        vm_datacenter=np.arange(num_vms, dtype=np.int64) % num_datacenters,
+        # Identical pricing everywhere, matching homogeneous_scenario.
+        dc_cost_per_mem=np.full(num_datacenters, 0.05),
+        dc_cost_per_storage=np.full(num_datacenters, 0.001),
+        dc_cost_per_bw=np.full(num_datacenters, 0.0),
+        dc_cost_per_cpu=np.full(num_datacenters, 3.0),
+    )
+
+
+def heterogeneous_stream(
+    num_vms: int,
+    num_cloudlets: int,
+    num_datacenters: int = 4,
+    seed: int | None = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    name: str | None = None,
+) -> ScenarioChunks:
+    """Chunked form of :func:`~repro.workloads.heterogeneous.heterogeneous_scenario`.
+
+    VM and datacenter draws use the same ``(seed, label)`` streams as the
+    monolithic generator; cloudlet lengths are drawn chunk by chunk from
+    the ``hetero/cloudlets`` stream, which concatenates to the monolithic
+    draw bit-for-bit (sequential generator consumption).
+    """
+    if num_vms < 1 or num_cloudlets < 1 or num_datacenters < 1:
+        raise ValueError("num_vms, num_cloudlets and num_datacenters must be >= 1")
+    if num_datacenters > num_vms:
+        raise ValueError("cannot have more datacenters than VMs")
+    vm_rng = spawn_rng(seed, "hetero/vms")
+    dc_rng = spawn_rng(seed, "hetero/datacenters")
+    # Match the monolithic per-datacenter draw order exactly: mem, storage,
+    # bw for datacenter 0, then datacenter 1, ...
+    mem = np.empty(num_datacenters)
+    storage = np.empty(num_datacenters)
+    bw = np.empty(num_datacenters)
+    for d in range(num_datacenters):
+        mem[d] = dc_rng.uniform(*COST_PER_MEM_RANGE)
+        storage[d] = dc_rng.uniform(*COST_PER_STORAGE_RANGE)
+        bw[d] = dc_rng.uniform(*COST_PER_BW_RANGE)
+    return ScenarioChunks(
+        name=name or f"heterogeneous-{num_vms}vms-{num_cloudlets}cl",
+        seed=seed,
+        chunk_size=chunk_size,
+        num_cloudlets=num_cloudlets,
+        cloudlets=UniformLengthCloudlets(
+            low=CLOUDLET_LENGTH_RANGE[0],
+            high=CLOUDLET_LENGTH_RANGE[1],
+            pes=1,
+            file_size=CLOUDLET_FILE_SIZE,
+            output_size=CLOUDLET_OUTPUT_SIZE,
+        ),
+        vm_mips=vm_rng.uniform(*VM_MIPS_RANGE, size=num_vms),
+        vm_pes=np.ones(num_vms, dtype=np.int64),
+        vm_ram=np.full(num_vms, VM_RAM),
+        vm_bw=np.full(num_vms, VM_BW),
+        vm_size=np.full(num_vms, VM_SIZE),
+        vm_datacenter=np.arange(num_vms, dtype=np.int64) % num_datacenters,
+        dc_cost_per_mem=mem,
+        dc_cost_per_storage=storage,
+        dc_cost_per_bw=bw,
+        dc_cost_per_cpu=np.full(num_datacenters, COST_PER_CPU),
+    )
+
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "ScenarioChunks",
+    "ConstantCloudlets",
+    "UniformLengthCloudlets",
+    "MaterializedCloudlets",
+    "homogeneous_stream",
+    "heterogeneous_stream",
+]

@@ -23,6 +23,8 @@ MODULES_WITH_EXAMPLES = [
     "repro.cache",
     "repro.optim",
     "repro.workloads.synthetic",
+    "repro.workloads.streaming",
+    "repro.schedulers.streaming",
     "repro.experiments.profiling",
     "repro.analysis.report_md",
 ]

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Streaming-path smoke: the CI gate for the paper-scale memory budget.
+
+Runs a capped 100,000-cloudlet homogeneous point through every natively
+streaming scheduler and asserts the contract the docs promise:
+
+1. **Memory budget** — process peak RSS stays below the documented
+   budget (default 512 MiB) for the whole sweep.  The streaming path
+   holds O(num_vms + chunk_size) state, so this passes with room to
+   spare; the same point on the in-memory engines allocates O(n)
+   per-cloudlet arrays per run.
+2. **Chunk invariance** — every bounded metric (and the per-VM
+   accumulator arrays) is bit-identical across chunk sizes.
+3. **Telemetry** — ``stream.chunks`` / ``stream.peak_rss`` gauges are
+   populated when telemetry is on.
+
+Prints per-scheduler throughput; exit status 0 on success, any contract
+violation raises.
+
+Usage::
+
+    PYTHONPATH=src python tools/stream_smoke.py [--cloudlets 100000]
+        [--budget-mib 512]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import obs
+from repro.cloud.fast import StreamingSimulation, peak_rss_bytes
+from repro.obs.telemetry import TELEMETRY
+from repro.schedulers.streaming import STREAMING_SCHEDULERS, make_streaming_scheduler
+from repro.workloads.streaming import homogeneous_stream
+
+NUM_VMS = 1_000
+SEED = 0
+#: chunk sizes checked for metric invariance (second one re-run per scheduler).
+CHUNK_SIZES = (8_192, 65_536)
+
+
+def run_one(name: str, num_cloudlets: int, chunk_size: int):
+    stream = homogeneous_stream(
+        NUM_VMS, num_cloudlets, seed=SEED, chunk_size=chunk_size
+    )
+    t0 = time.perf_counter()
+    result = StreamingSimulation(
+        stream, make_streaming_scheduler(name), seed=SEED
+    ).run()
+    return result, time.perf_counter() - t0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cloudlets", type=int, default=100_000)
+    parser.add_argument(
+        "--budget-mib",
+        type=float,
+        default=512.0,
+        help="peak-RSS ceiling for the whole smoke (documented budget)",
+    )
+    args = parser.parse_args(argv)
+    budget_bytes = int(args.budget_mib * 2**20)
+
+    with obs.enabled(True):
+        for name in sorted(STREAMING_SCHEDULERS):
+            baseline, _ = run_one(name, args.cloudlets, CHUNK_SIZES[0])
+            result, elapsed = run_one(name, args.cloudlets, CHUNK_SIZES[1])
+            for field in ("makespan", "time_imbalance", "total_cost"):
+                a, b = getattr(baseline, field), getattr(result, field)
+                if a != b:
+                    raise AssertionError(
+                        f"{name}: {field} not chunk-invariant: {a!r} != {b!r}"
+                    )
+            if baseline.vm_finish_times.tobytes() != result.vm_finish_times.tobytes():
+                raise AssertionError(f"{name}: vm_finish_times not chunk-invariant")
+            if baseline.vm_costs.tobytes() != result.vm_costs.tobytes():
+                raise AssertionError(f"{name}: vm_costs not chunk-invariant")
+            print(
+                f"{name:12s} {args.cloudlets} cloudlets in {elapsed:6.2f}s "
+                f"({args.cloudlets / elapsed:12,.0f} cloudlets/s)  "
+                f"makespan={result.makespan:g}"
+            )
+        gauges = TELEMETRY.snapshot().to_dict()["gauges"]
+    if "stream.chunks" not in gauges or "stream.peak_rss" not in gauges:
+        raise AssertionError(f"stream gauges missing from telemetry: {sorted(gauges)}")
+
+    peak = peak_rss_bytes()
+    print(f"peak RSS: {peak / 2**20:.0f} MiB (budget {args.budget_mib:.0f} MiB)")
+    if peak > budget_bytes:
+        raise AssertionError(
+            f"peak RSS {peak} bytes exceeds the {budget_bytes}-byte budget"
+        )
+    print("stream smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
