@@ -1,0 +1,163 @@
+"""Extension benchmarks — closed-loop MAPE-K control under chaos storms.
+
+Quantifies what the control loop buys: every cell runs one timeline-driven
+storm three ways (calm twin, self-healing only, MAPE-K controlled) on the
+online engine and reduces the arms to
+:class:`~repro.metrics.resilience.RecoveryMetrics`.  The efficacy contract
+pinned here (and recorded in ``BENCH_control_loop.json`` by ``main``):
+the loop strictly reduces both mean makespan degradation and the
+SLA-violation count versus the no-control baseline.
+
+Run as a script to regenerate the committed results file::
+
+    PYTHONPATH=src:. python benchmarks/bench_control_loop.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cloud.chaos import StormReport, demo_storm_timeline, run_storm_suite
+from repro.cloud.control import ControlConfig
+from repro.schedulers.online import OnlineGreedyMCT, OnlineLeastLoaded
+from repro.workloads.heterogeneous import heterogeneous_scenario
+
+NUM_VMS = 12
+NUM_CLOUDLETS = 150
+SEEDS = (0, 1, 2)
+SLA_SECONDS = 30.0
+
+POLICIES = {
+    "greedy-mct": OnlineGreedyMCT,
+    "leastloaded": OnlineLeastLoaded,
+}
+
+
+def storm_control() -> ControlConfig:
+    """The loop tuning the bench (and the committed JSON) is measured at."""
+    return ControlConfig(
+        cadence=0.5,
+        cooldown=2.0,
+        max_moves_per_cycle=2,
+        imbalance_threshold=2.0,
+        scale_up_backlog=1.5,
+        standby_vms=2,
+        sla_seconds=SLA_SECONDS,
+    )
+
+
+def run_bench_suite(seeds=SEEDS) -> StormReport:
+    scenario = heterogeneous_scenario(NUM_VMS, NUM_CLOUDLETS, seed=5)
+    timeline = demo_storm_timeline(NUM_VMS)
+    return run_storm_suite(
+        scenario,
+        POLICIES,
+        timeline,
+        storm_control(),
+        seeds=seeds,
+        sla_seconds=SLA_SECONDS,
+    )
+
+
+def test_storm_suite_controlled_beats_uncontrolled(benchmark):
+    """The headline claim: MAPE-K strictly reduces degradation and SLA misses."""
+    report = benchmark.pedantic(run_bench_suite, rounds=1, iterations=1)
+    controlled = report.mean_degradation("controlled")
+    uncontrolled = report.mean_degradation("uncontrolled")
+    benchmark.extra_info["controlled_degradation"] = round(controlled, 4)
+    benchmark.extra_info["uncontrolled_degradation"] = round(uncontrolled, 4)
+    benchmark.extra_info["controlled_sla"] = report.sla_violation_count("controlled")
+    benchmark.extra_info["uncontrolled_sla"] = report.sla_violation_count(
+        "uncontrolled"
+    )
+    assert controlled < uncontrolled
+    assert report.sla_violation_count("controlled") < report.sla_violation_count(
+        "uncontrolled"
+    )
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+def test_per_policy_degradation(benchmark, policy_name):
+    """Per-policy view of the same contract on a single seed."""
+    scenario = heterogeneous_scenario(NUM_VMS, NUM_CLOUDLETS, seed=5)
+    timeline = demo_storm_timeline(NUM_VMS)
+
+    def run():
+        return run_storm_suite(
+            scenario,
+            {policy_name: POLICIES[policy_name]},
+            timeline,
+            storm_control(),
+            seeds=(0,),
+            sla_seconds=SLA_SECONDS,
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    (cell,) = report.cells
+    benchmark.extra_info["policy"] = policy_name
+    benchmark.extra_info["controlled_degradation"] = round(
+        cell.controlled_recovery.makespan_degradation, 4
+    )
+    benchmark.extra_info["uncontrolled_degradation"] = round(
+        cell.uncontrolled_recovery.makespan_degradation, 4
+    )
+    assert (
+        cell.controlled_recovery.makespan_degradation
+        <= cell.uncontrolled_recovery.makespan_degradation
+    )
+
+
+def main(out: "str | Path" = Path(__file__).parent.parent / "BENCH_control_loop.json") -> Path:
+    """Regenerate the committed efficacy record.
+
+    The file pins the numbers the acceptance criteria reference: mean
+    degradation and SLA-violation count per arm, plus per-cell rows.
+    Deterministic — rerunning on the same code must reproduce it exactly.
+    """
+    report = run_bench_suite()
+    controlled = report.mean_degradation("controlled")
+    uncontrolled = report.mean_degradation("uncontrolled")
+    if not controlled < uncontrolled:
+        raise AssertionError(
+            f"control loop failed to reduce degradation: "
+            f"{controlled:.4f} vs {uncontrolled:.4f}"
+        )
+    if not (
+        report.sla_violation_count("controlled")
+        < report.sla_violation_count("uncontrolled")
+    ):
+        raise AssertionError("control loop failed to reduce SLA violations")
+    payload = {
+        "benchmark": "control_loop",
+        "scenario": report.scenario_name,
+        "timeline": report.timeline_name,
+        "seeds": list(SEEDS),
+        "sla_seconds": SLA_SECONDS,
+        "control": report.control,
+        "mean_degradation": {
+            "controlled": controlled,
+            "uncontrolled": uncontrolled,
+        },
+        "sla_violations": {
+            "controlled": report.sla_violation_count("controlled"),
+            "uncontrolled": report.sla_violation_count("uncontrolled"),
+        },
+        "rows": report.to_rows(),
+    }
+    out = Path(out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(
+        f"mean degradation: controlled {controlled:.4f} vs "
+        f"uncontrolled {uncontrolled:.4f}; SLA violations "
+        f"{payload['sla_violations']['controlled']} vs "
+        f"{payload['sla_violations']['uncontrolled']}"
+    )
+    print(f"written to {out}")
+    return out
+
+
+if __name__ == "__main__":
+    main()

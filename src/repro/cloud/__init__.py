@@ -30,9 +30,15 @@ from repro.cloud.chaos import (
     ChaosCell,
     ChaosConfig,
     ChaosReport,
+    StormCell,
+    StormReport,
+    demo_storm_timeline,
     generate_fault_plan,
+    load_report_rows,
     run_chaos_suite,
+    run_storm_suite,
 )
+from repro.cloud.control import ControlConfig, ControlledOnlineBroker, ControlLoop
 from repro.cloud.datacenter import Datacenter, FaultNotice
 from repro.cloud.fast import FastSimulation
 from repro.cloud.faults import (
@@ -131,8 +137,16 @@ __all__ = [
     "ChaosConfig",
     "ChaosCell",
     "ChaosReport",
+    "StormCell",
+    "StormReport",
+    "demo_storm_timeline",
     "generate_fault_plan",
     "run_chaos_suite",
+    "run_storm_suite",
+    "load_report_rows",
+    "ControlConfig",
+    "ControlledOnlineBroker",
+    "ControlLoop",
     "SimulationEnvironment",
     "build_simulation",
     "PlacementEnergyReport",

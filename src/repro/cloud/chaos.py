@@ -23,10 +23,19 @@ reproducible from ``(scenario, scheduler, seed, config)``.
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import math
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # online/control import chaos-adjacent modules; stay lazy
+    from repro.cloud.control import ControlConfig
+    from repro.schedulers.online import OnlineScheduler
+    from repro.workloads.timeline import Timeline
 
 from repro.cloud.faults import (
     FaultEvent,
@@ -39,7 +48,7 @@ from repro.cloud.faults import (
 from repro.cloud.resilience import RetryPolicy, run_resilient
 from repro.cloud.simulation import CloudSimulation, SimulationResult
 from repro.core.rng import spawn_rng
-from repro.metrics.resilience import RecoveryMetrics, recovery_metrics
+from repro.metrics.resilience import RecoveryMetrics, recovery_metrics, storm_metrics
 from repro.schedulers.base import Scheduler
 from repro.workloads.spec import ScenarioSpec
 
@@ -80,9 +89,13 @@ class ChaosConfig:
             ("downtime_window", self.downtime_window),
             ("duration_window", self.duration_window),
         ):
+            if not (math.isfinite(lo) and math.isfinite(hi)):
+                raise ValueError(f"{name} bounds must be finite, got ({lo}, {hi})")
             if not 0 < lo <= hi:
                 raise ValueError(f"{name} must satisfy 0 < lo <= hi, got ({lo}, {hi})")
         lo, hi = self.factor_window
+        if not (math.isfinite(lo) and math.isfinite(hi)):
+            raise ValueError(f"factor_window bounds must be finite, got ({lo}, {hi})")
         if not 0 < lo <= hi < 1:
             raise ValueError(
                 f"factor_window must satisfy 0 < lo <= hi < 1, got ({lo}, {hi})"
@@ -108,8 +121,10 @@ def generate_fault_plan(
     VM is left untouched (a plan that crashes the whole fleet measures
     nothing but dead-letters).
     """
-    if baseline_makespan <= 0:
-        raise ValueError(f"baseline makespan must be positive, got {baseline_makespan}")
+    if not math.isfinite(baseline_makespan) or baseline_makespan <= 0:
+        raise ValueError(
+            f"baseline makespan must be positive and finite, got {baseline_makespan}"
+        )
     needed = config.num_anchors
     if needed == 0:
         return []
@@ -210,6 +225,19 @@ class ChaosReport:
             for c in self.cells
         ]
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form the ``report`` CLI renders; see :func:`load_report_rows`."""
+        return {
+            "kind": "chaos-report",
+            "scenario": self.scenario_name,
+            "config": dataclasses.asdict(self.config),
+            "rows": self.to_rows(),
+        }
+
+    def save(self, path: "Path | str") -> Path:
+        """Write :meth:`to_dict` as JSON; returns the path written."""
+        return _save_report(self.to_dict(), path)
+
 
 def run_chaos_suite(
     scenario: ScenarioSpec,
@@ -263,10 +291,245 @@ def run_chaos_suite(
     return report
 
 
+# -- timeline-driven storms ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StormCell:
+    """One (policy, seed) cell of a storm suite: three runs of one timeline.
+
+    ``calm`` ran the timeline with faults stripped
+    (:meth:`~repro.workloads.timeline.Timeline.without_faults`),
+    ``uncontrolled`` the full storm with self-healing retry only, and
+    ``controlled`` the same storm with a MAPE-K
+    :class:`~repro.cloud.control.ControlLoop` attached.  All three share
+    the scenario, seed, arrival dynamics and standby reserve, so the
+    degradation difference is attributable to the loop alone.
+    """
+
+    policy_name: str
+    seed: int
+    faults: int
+    calm: SimulationResult
+    uncontrolled: SimulationResult
+    controlled: SimulationResult
+    uncontrolled_recovery: RecoveryMetrics
+    controlled_recovery: RecoveryMetrics
+
+    def summary(self) -> dict[str, float]:
+        """Headline numbers: both arms' degradation, SLA misses, recovery."""
+        return {
+            "calm_makespan": self.calm.makespan,
+            "uncontrolled_degradation": self.uncontrolled_recovery.makespan_degradation,
+            "controlled_degradation": self.controlled_recovery.makespan_degradation,
+            "uncontrolled_sla_violations": float(
+                self.uncontrolled_recovery.sla_violations
+            ),
+            "controlled_sla_violations": float(self.controlled_recovery.sla_violations),
+            "controlled_time_to_restabilize": (
+                self.controlled_recovery.time_to_restabilize
+            ),
+            "controlled_retries": float(self.controlled_recovery.retries),
+        }
+
+
+@dataclass
+class StormReport:
+    """All cells of one timeline-storm suite plus aggregate views."""
+
+    scenario_name: str
+    timeline_name: str
+    control: dict[str, Any]
+    sla_seconds: float | None = None
+    cells: list[StormCell] = field(default_factory=list)
+
+    _ARMS = ("uncontrolled", "controlled")
+
+    def _metrics(self, cell: StormCell, arm: str) -> RecoveryMetrics:
+        if arm not in self._ARMS:
+            raise ValueError(f"unknown storm arm {arm!r}; expected one of {self._ARMS}")
+        return (
+            cell.controlled_recovery
+            if arm == "controlled"
+            else cell.uncontrolled_recovery
+        )
+
+    def mean_degradation(self, arm: str = "controlled") -> float:
+        """Mean makespan-degradation ratio over all cells of one arm."""
+        values = [self._metrics(c, arm).makespan_degradation for c in self.cells]
+        return float(np.mean(values)) if values else math.nan
+
+    def sla_violation_count(self, arm: str = "controlled") -> int:
+        """Total SLO-violating cloudlets over all cells of one arm."""
+        return int(sum(self._metrics(c, arm).sla_violations for c in self.cells))
+
+    def to_rows(self) -> list[dict[str, float | str | int]]:
+        """Flat rows (one per cell) for CSV/tabular reporting."""
+        return [
+            {"policy": c.policy_name, "seed": c.seed, "faults": c.faults,
+             **c.summary()}
+            for c in self.cells
+        ]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form the ``report`` CLI renders; see :func:`load_report_rows`."""
+        return {
+            "kind": "storm-report",
+            "scenario": self.scenario_name,
+            "timeline": self.timeline_name,
+            "control": self.control,
+            "sla_seconds": self.sla_seconds,
+            "mean_degradation": {
+                arm: self.mean_degradation(arm) for arm in self._ARMS
+            },
+            "sla_violations": {
+                arm: self.sla_violation_count(arm) for arm in self._ARMS
+            },
+            "rows": self.to_rows(),
+        }
+
+    def save(self, path: "Path | str") -> Path:
+        """Write :meth:`to_dict` as JSON; returns the path written."""
+        return _save_report(self.to_dict(), path)
+
+
+def _save_report(payload: dict[str, Any], path: "Path | str") -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+REPORT_KINDS = ("chaos-report", "storm-report")
+
+
+def load_report_rows(path: "Path | str") -> dict[str, Any]:
+    """Load a saved chaos/storm report JSON back into its dict form.
+
+    Raises ``ValueError`` when the file is not a recognisable report (so
+    the CLI can fall through to other artifact kinds).
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("kind") not in REPORT_KINDS:
+        raise ValueError(
+            f"{path} is not a chaos/storm report (expected a 'kind' of "
+            f"{REPORT_KINDS})"
+        )
+    if not isinstance(payload.get("rows"), list):
+        raise ValueError(f"{path} is missing its 'rows' table")
+    return payload
+
+
+def demo_storm_timeline(num_vms: int) -> "Timeline":
+    """A representative storm for benches, smokes and the ``storm`` CLI.
+
+    Arrival pressure (a ramp into a burst) overlapping capacity loss (two
+    recovering crashes and a straggler window) — enough dynamics that a
+    control loop has something to win on, small enough to run in seconds.
+    Fault anchors are drawn from the low VM indices so any fleet of at
+    least four VMs can host it.
+    """
+    from repro.workloads.timeline import Burst, Drift, RateRamp, Timeline, VmFault
+
+    if num_vms < 4:
+        raise ValueError(f"demo storm needs at least 4 VMs, got {num_vms}")
+    return Timeline(
+        base_rate=8.0,
+        entries=(
+            RateRamp("+5s", "10s", {"distribution": "uniform", "min": 12, "max": 16}),
+            Burst("+8s", 30),
+            VmFault("+4s", 1, downtime="6s"),
+            VmFault("+9s", 3, downtime="8s"),
+            Drift("+3s", 2, duration=20.0, factor=0.25),
+        ),
+        name="demo-storm",
+    )
+
+
+def run_storm_suite(
+    scenario: ScenarioSpec,
+    policies: Mapping[str, Callable[[], "OnlineScheduler"]],
+    timeline: "Timeline",
+    control: "ControlConfig",
+    seeds: Sequence[int] = (0,),
+    *,
+    sla_seconds: float | None = None,
+    execution_model: str = "space-shared",
+) -> StormReport:
+    """Run the storm grid: policies × seeds × {calm, uncontrolled, controlled}.
+
+    Per cell the same compiled timeline is run three ways on the online
+    engine: faults stripped (calm twin), full storm with self-healing
+    retry only (uncontrolled — the standby reserve exists but nothing
+    recruits it), and full storm with the MAPE-K loop attached
+    (controlled).  ``sla_seconds`` defaults to ``control.sla_seconds``.
+    Deterministic: a cell is a pure function of
+    ``(scenario, policy, timeline, control, seed)``.
+    """
+    from repro.cloud.online import OnlineCloudSimulation
+
+    if not timeline.fault_entries:
+        raise ValueError(
+            f"timeline {timeline.name!r} has no fault entries; a storm suite "
+            "needs faults to measure recovery against"
+        )
+    if sla_seconds is None:
+        sla_seconds = control.sla_seconds
+    report = StormReport(
+        scenario_name=scenario.name,
+        timeline_name=timeline.name,
+        control=control.to_dict(),
+        sla_seconds=sla_seconds,
+    )
+    calm_timeline = timeline.without_faults()
+    for seed in seeds:
+        faults = len(timeline.compile(scenario.num_vms, seed=seed).fault_plan)
+        for name, make_policy in policies.items():
+            calm = OnlineCloudSimulation(
+                scenario, make_policy(), seed=seed,
+                execution_model=execution_model,
+                timeline=calm_timeline, standby_vms=control.standby_vms,
+            ).run()
+            uncontrolled = OnlineCloudSimulation(
+                scenario, make_policy(), seed=seed,
+                execution_model=execution_model,
+                timeline=timeline, standby_vms=control.standby_vms,
+            ).run()
+            controlled = OnlineCloudSimulation(
+                scenario, make_policy(), seed=seed,
+                execution_model=execution_model,
+                timeline=timeline, control=control,
+            ).run()
+            report.cells.append(
+                StormCell(
+                    policy_name=name,
+                    seed=seed,
+                    faults=faults,
+                    calm=calm,
+                    uncontrolled=uncontrolled,
+                    controlled=controlled,
+                    uncontrolled_recovery=storm_metrics(
+                        calm, uncontrolled, sla_seconds
+                    ),
+                    controlled_recovery=storm_metrics(calm, controlled, sla_seconds),
+                )
+            )
+    return report
+
+
 __all__ = [
     "ChaosConfig",
     "ChaosCell",
     "ChaosReport",
+    "StormCell",
+    "StormReport",
     "generate_fault_plan",
     "run_chaos_suite",
+    "run_storm_suite",
+    "demo_storm_timeline",
+    "load_report_rows",
+    "REPORT_KINDS",
 ]

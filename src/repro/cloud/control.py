@@ -1,0 +1,434 @@
+"""Closed-loop MAPE-K control over the online simulation.
+
+qoscloud's scenario executor (and the autonomic-computing literature it
+follows) closes a monitor → analyze → plan → execute loop over a running
+system; this module does the same over the online DES:
+
+* :class:`ControlledOnlineBroker` extends the online broker with the
+  *mechanisms* a controller needs: an alive/active VM mask maintained from
+  ``FAULT_NOTICE`` events, policy-driven retry of bounced (failed or
+  cancelled) cloudlets over the eligible fleet, rebalance cancels that
+  move queued work off a congested VM, and a standby pool the autoscaler
+  can recruit or drain.
+* :class:`ControlLoop` is the *policy*: a kernel entity ticking at a fixed
+  cadence.  Monitor samples broker state (and mirrors it into telemetry
+  gauges), Analyze detects imbalance / dead capacity / backlog pressure,
+  Plan selects bounded actions under per-action cooldowns, Execute applies
+  them through the broker.  Knowledge is the bounded history + last-action
+  ledger the cooldowns read.
+
+Actuation is bounded by design — at most ``max_moves_per_cycle`` rebalance
+cancels per tick and one scaling step per tick, each behind a cooldown —
+so a mis-tuned loop degrades into inaction rather than thrash.
+
+Determinism: every decision is a pure function of simulation state; the
+loop never reads a wall clock or an unseeded RNG, so a controlled run is
+exactly reproducible from ``(scenario, policy, timeline, config, seed)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.cloud.cloudlet import Cloudlet, CloudletStatus
+from repro.cloud.datacenter import FaultNotice
+from repro.cloud.online import OnlineBroker
+from repro.core.entity import Entity
+from repro.core.eventqueue import Event
+from repro.core.tags import EventTag
+from repro.obs.telemetry import TELEMETRY as _TEL
+from repro.workloads.timeline import Trigger
+
+
+@dataclass(frozen=True)
+class ControlConfig:
+    """Tuning of one MAPE-K loop instance.
+
+    All thresholds read the broker's *backlog* estimate (outstanding
+    execution seconds per VM), the same state the online policies key on.
+    """
+
+    #: seconds between loop ticks (Monitor cadence).
+    cadence: float = 1.0
+    #: minimum seconds between two executions of the same action.
+    cooldown: float = 5.0
+    #: rebalance cancels issued per tick, at most.
+    max_moves_per_cycle: int = 2
+    #: max/mean eligible-VM backlog ratio that triggers a rebalance.
+    imbalance_threshold: float = 3.0
+    #: mean eligible-VM backlog (seconds) that triggers a scale-up;
+    #: ``None`` disables pressure-driven scale-up.
+    scale_up_backlog: float | None = None
+    #: mean eligible-VM backlog below which one active VM is drained;
+    #: ``None`` disables scale-down.
+    scale_down_backlog: float | None = None
+    #: VMs (highest indices) initially parked as recruitable reserve.
+    standby_vms: int = 0
+    #: flow-time SLO (seconds) recorded with storm metrics; ``None`` = no SLO.
+    sla_seconds: float | None = None
+    #: Monitor samples retained in the knowledge base.
+    history: int = 64
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.cadence) or self.cadence <= 0:
+            raise ValueError(f"cadence must be positive and finite, got {self.cadence}")
+        if not math.isfinite(self.cooldown) or self.cooldown < 0:
+            raise ValueError(f"cooldown must be non-negative, got {self.cooldown}")
+        if self.max_moves_per_cycle < 1:
+            raise ValueError(
+                f"max_moves_per_cycle must be >= 1, got {self.max_moves_per_cycle}"
+            )
+        if not math.isfinite(self.imbalance_threshold) or self.imbalance_threshold <= 1:
+            raise ValueError(
+                f"imbalance_threshold must be > 1, got {self.imbalance_threshold}"
+            )
+        for name in ("scale_up_backlog", "scale_down_backlog", "sla_seconds"):
+            value = getattr(self, name)
+            if value is not None and (not math.isfinite(value) or value <= 0):
+                raise ValueError(f"{name} must be positive and finite, got {value}")
+        if self.standby_vms < 0:
+            raise ValueError(f"standby_vms must be non-negative, got {self.standby_vms}")
+        if self.history < 1:
+            raise ValueError(f"history must be >= 1, got {self.history}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form for manifests and cache keys."""
+        return {name: getattr(self, name) for name in vars(self)}
+
+
+class ControlledOnlineBroker(OnlineBroker):
+    """An online broker a controller can actuate.
+
+    Extends :class:`~repro.cloud.online.OnlineBroker` with:
+
+    * an ``alive`` mask maintained from datacenter ``FAULT_NOTICE`` events
+      and an ``active`` mask owned by the autoscaler (``standby_vms``
+      highest-indexed VMs start parked);
+    * self-healing: a ``FAILED`` return (crash bounce or rebalance cancel)
+      is re-placed through the policy over the eligible fleet instead of
+      raising — the policy sees backlog with ineligible VMs masked to
+      ``+inf``, and a pick that lands on an ineligible VM is remapped to
+      the least-loaded eligible one (deterministically);
+    * actuators for the control loop: :meth:`cancel_for_rebalance`,
+      :meth:`activate_standby`, :meth:`drain_active`.
+
+    Without a :class:`ControlLoop` attached this is the *uncontrolled*
+    storm arm: it survives faults (blind policy-driven retry) but nothing
+    rebalances or recruits the reserve.
+    """
+
+    def __init__(self, *args, standby_vms: int = 0, max_attempts: int = 32, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        num_vms = len(self.vms)
+        if not 0 <= standby_vms < num_vms:
+            raise ValueError(
+                f"standby_vms must leave at least one active VM, got "
+                f"{standby_vms} of {num_vms}"
+            )
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.alive = np.ones(num_vms, dtype=bool)
+        self.active = np.ones(num_vms, dtype=bool)
+        if standby_vms:
+            self.active[num_vms - standby_vms :] = False
+        self.max_attempts = max_attempts
+        self.attempts = np.zeros(len(self.cloudlets), dtype=np.int64)
+        self.retries = 0
+        self.rebalance_cancels = 0
+        self.scale_ups = 0
+        self.scale_downs = 0
+        #: per-VM set of cloudlet indices submitted and not yet returned.
+        self._inflight: list[set[int]] = [set() for _ in range(num_vms)]
+        #: cloudlets we cancelled ourselves; their bounce is a planned move,
+        #: not a failure, so it never counts toward ``max_attempts``.
+        self._planned_bounces: set[int] = set()
+        #: how often each cloudlet was moved by a rebalance cancel.
+        self.moves = np.zeros(len(self.cloudlets), dtype=np.int64)
+
+    # -- placement ---------------------------------------------------------------
+
+    @property
+    def eligible(self) -> np.ndarray:
+        """VMs that may receive work: alive and not parked."""
+        return self.alive & self.active
+
+    def _choose_vm(self, idx: int) -> int:
+        eligible = self.eligible
+        if not eligible.any():
+            raise RuntimeError(
+                f"{self.name}: no eligible VM left to place cloudlet {idx}"
+            )
+        masked = np.where(eligible, self.backlog, np.inf)
+        vm_idx = self.policy.assign(idx, self.now, masked, self.context)
+        if not 0 <= vm_idx < len(self.vms) or not eligible[vm_idx]:
+            vm_idx = int(np.argmin(masked))
+        return int(vm_idx)
+
+    def _place_cloudlet(self, idx: int) -> None:
+        super()._place_cloudlet(idx)
+        self._inflight[int(self.assignment[idx])].add(idx)
+
+    # -- event handling ----------------------------------------------------------
+
+    def process_event(self, event: Event) -> None:
+        if event.tag is EventTag.FAULT_NOTICE:
+            notice: FaultNotice = event.data
+            state = notice.kind == "vm-recovered"
+            for vm_id in notice.vm_ids:
+                self.alive[vm_id] = state
+            return
+        super().process_event(event)
+
+    def _process_return(self, event: Event) -> None:
+        cloudlet: Cloudlet = event.data
+        idx = cloudlet.cloudlet_id
+        vm_idx = int(self.assignment[idx])
+        self._inflight[vm_idx].discard(idx)
+        if cloudlet.status is CloudletStatus.FAILED:
+            arr = self.context.arrays
+            self.backlog[vm_idx] -= float(
+                arr.cloudlet_length[idx] / (arr.vm_mips[vm_idx] * arr.vm_pes[vm_idx])
+            )
+            if idx in self._planned_bounces:
+                self._planned_bounces.discard(idx)
+                self.moves[idx] += 1
+            else:
+                self.attempts[idx] += 1
+                if self.attempts[idx] >= self.max_attempts:
+                    raise RuntimeError(
+                        f"{self.name}: cloudlet {idx} exhausted "
+                        f"{self.max_attempts} placement attempts"
+                    )
+                self.retries += 1
+            cloudlet.reset_for_retry()
+            self._place_cloudlet(idx)
+            return
+        # A cancel can race the finish and lose; clear the stale marker.
+        self._planned_bounces.discard(idx)
+        super()._process_return(event)
+
+    # -- actuators (Execute phase) -------------------------------------------------
+
+    def cancel_for_rebalance(self, vm_idx: int, max_cancel: int) -> int:
+        """Cancel up to ``max_cancel`` in-flight cloudlets on ``vm_idx``.
+
+        The datacenter bounces each still-unfinished one back ``FAILED``
+        and the retry path re-places it over the eligible fleet (a planned
+        move, not counted as a failure retry).  Least-moved, most recently
+        assigned cloudlets go first — on a space-shared VM the newest are
+        the deepest in the queue, so cancels mostly move *queued* work and
+        forfeit little progress, and preferring the least-moved keeps one
+        unlucky cloudlet from ping-ponging between hot VMs.
+
+        Two bounds make rebalancing safe on the tail: the VM always keeps
+        at least one cloudlet (cancelling the sole running one forfeits
+        its progress without relieving anything), and a cloudlet already
+        moved ``max_attempts`` times is pinned where it is.  Together they
+        cap total cancels, so a mis-tuned loop cannot livelock the run.
+        """
+        pending = {
+            i
+            for i in self._inflight[vm_idx] - self._planned_bounces
+            if self.moves[i] < self.max_attempts
+        }
+        candidates = sorted(pending, key=lambda i: (self.moves[i], -i))
+        keep_one = len(self._inflight[vm_idx]) - 1
+        candidates = candidates[: max(0, min(max_cancel, keep_one))]
+        for c_idx in candidates:
+            self.rebalance_cancels += 1
+            self._planned_bounces.add(c_idx)
+            self.send_now(
+                self.vm_placement[vm_idx],
+                EventTag.CLOUDLET_CANCEL,
+                data=self.cloudlets[c_idx],
+            )
+        return len(candidates)
+
+    def activate_standby(self, count: int = 1) -> int:
+        """Recruit up to ``count`` parked VMs (lowest index first)."""
+        recruited = 0
+        for vm_idx in np.flatnonzero(~self.active & self.alive)[: max(0, count)]:
+            self.active[vm_idx] = True
+            self.scale_ups += 1
+            recruited += 1
+        return recruited
+
+    def drain_active(self, count: int = 1) -> int:
+        """Park up to ``count`` idle active VMs (highest index first).
+
+        Only VMs with no in-flight work are drained, and at least one
+        eligible VM always remains.
+        """
+        drained = 0
+        for vm_idx in reversed(np.flatnonzero(self.eligible)):
+            if drained >= count or self.eligible.sum() <= 1:
+                break
+            if self._inflight[vm_idx] or self.backlog[vm_idx] > 0:
+                continue
+            self.active[vm_idx] = False
+            self.scale_downs += 1
+            drained += 1
+        return drained
+
+
+class ControlLoop(Entity):
+    """The MAPE-K controller: a kernel entity ticking every ``cadence``.
+
+    Parameters
+    ----------
+    name:
+        Entity name.
+    broker:
+        The :class:`ControlledOnlineBroker` under control.
+    config:
+        Loop tuning (cadence, thresholds, actuation bounds).
+    triggers:
+        Conditional events from a compiled timeline, evaluated each tick
+        against the monitored metrics.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        broker: ControlledOnlineBroker,
+        config: ControlConfig | None = None,
+        triggers: Sequence[Trigger] = (),
+    ) -> None:
+        super().__init__(name)
+        self.broker = broker
+        self.config = config or ControlConfig()
+        self.triggers = tuple(triggers)
+        #: Knowledge: bounded metric history + last-execution time per action.
+        self.history: list[tuple[float, dict[str, float]]] = []
+        self.last_action: dict[str, float] = {}
+        self.cycles = 0
+        self.action_counts: dict[str, int] = {}
+        self._fired: set[int] = set()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        self.schedule_self(self.config.cadence, EventTag.TIMER)
+
+    def process_event(self, event: Event) -> None:
+        if event.tag is not EventTag.TIMER:
+            raise ValueError(f"{self.name}: unexpected event tag {event.tag!r}")
+        if self.broker.all_finished:
+            return  # work is done; let the simulation drain
+        self.cycles += 1
+        metrics = self.monitor()
+        planned = self.plan(self.analyze(metrics))
+        self.execute(planned, metrics)
+        self.schedule_self(self.config.cadence, EventTag.TIMER)
+
+    # -- Monitor -----------------------------------------------------------------
+
+    def monitor(self) -> dict[str, float]:
+        """Sample broker state into the metric vector triggers/analysis read."""
+        broker = self.broker
+        eligible = broker.eligible
+        backlog = broker.backlog[eligible]
+        mean_backlog = float(backlog.mean()) if backlog.size else 0.0
+        max_backlog = float(backlog.max()) if backlog.size else 0.0
+        imbalance = max_backlog / mean_backlog if mean_backlog > 0 else 1.0
+        metrics = {
+            "mean_backlog": mean_backlog,
+            "max_backlog": max_backlog,
+            "imbalance": imbalance,
+            "dead_vms": float((~broker.alive).sum()),
+            "pending": float(len(broker.cloudlets) - len(broker.finished)),
+            "active_vms": float(eligible.sum()),
+        }
+        if _TEL.enabled:
+            _TEL.count("control.cycles")
+            for key, value in metrics.items():
+                _TEL.gauge(f"control.{key}", value)
+        self.history.append((self.now, metrics))
+        if len(self.history) > self.config.history:
+            del self.history[0]
+        return metrics
+
+    # -- Analyze -----------------------------------------------------------------
+
+    def analyze(self, metrics: dict[str, float]) -> list[str]:
+        """Map symptoms (and fired timeline triggers) to desired actions."""
+        config = self.config
+        desired: list[str] = []
+        for i, trigger in enumerate(self.triggers):
+            if trigger.once and i in self._fired:
+                continue
+            if trigger.holds(metrics[trigger.metric]):
+                self._fired.add(i)
+                desired.append(trigger.action)
+        if metrics["dead_vms"] > 0:
+            desired.append("scale_up")  # replace failed capacity from the reserve
+        if (
+            config.scale_up_backlog is not None
+            and metrics["mean_backlog"] > config.scale_up_backlog
+        ):
+            desired.append("scale_up")
+        if metrics["imbalance"] > config.imbalance_threshold:
+            desired.append("rebalance")
+        if (
+            config.scale_down_backlog is not None
+            and metrics["mean_backlog"] < config.scale_down_backlog
+            and metrics["dead_vms"] == 0
+        ):
+            desired.append("scale_down")
+        return desired
+
+    # -- Plan --------------------------------------------------------------------
+
+    def plan(self, desired: list[str]) -> list[str]:
+        """Dedupe desired actions and apply per-action cooldowns."""
+        planned: list[str] = []
+        for action in dict.fromkeys(desired):
+            last = self.last_action.get(action)
+            if last is not None and self.now - last < self.config.cooldown:
+                continue
+            planned.append(action)
+        return planned
+
+    # -- Execute -----------------------------------------------------------------
+
+    def execute(self, planned: list[str], metrics: dict[str, float]) -> None:
+        broker = self.broker
+        for action in planned:
+            if action == "rebalance":
+                eligible = broker.eligible
+                masked = np.where(eligible, broker.backlog, -np.inf)
+                target = int(np.argmax(masked))
+                done = broker.cancel_for_rebalance(
+                    target, self.config.max_moves_per_cycle
+                )
+            elif action == "scale_up":
+                done = broker.activate_standby(1)
+            elif action == "scale_down":
+                done = broker.drain_active(1)
+            else:  # pragma: no cover - analyze() only emits the three above
+                raise ValueError(f"{self.name}: unknown action {action!r}")
+            if done:
+                self.last_action[action] = self.now
+                self.action_counts[action] = self.action_counts.get(action, 0) + done
+                if _TEL.enabled:
+                    _TEL.count(f"control.action.{action}", done)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def summary(self) -> dict[str, Any]:
+        """Loop activity for a run's ``info`` dict."""
+        return {
+            "cycles": self.cycles,
+            "actions": dict(sorted(self.action_counts.items())),
+            "retries": self.broker.retries,
+            "rebalance_cancels": self.broker.rebalance_cancels,
+            "scale_ups": self.broker.scale_ups,
+            "scale_downs": self.broker.scale_downs,
+        }
+
+
+__all__ = ["ControlConfig", "ControlledOnlineBroker", "ControlLoop"]

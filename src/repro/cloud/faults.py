@@ -40,6 +40,7 @@ plans in :mod:`repro.cloud.chaos`.
 
 from __future__ import annotations
 
+import math
 import time
 from collections import defaultdict
 from dataclasses import dataclass
@@ -88,10 +89,16 @@ class VmFailure:
     def __post_init__(self) -> None:
         if self.vm_index < 0:
             raise ValueError(f"vm_index must be non-negative, got {self.vm_index}")
-        if self.at_time < 0:
-            raise ValueError(f"at_time must be non-negative, got {self.at_time}")
-        if self.downtime is not None and self.downtime <= 0:
-            raise ValueError(f"downtime must be positive, got {self.downtime}")
+        if not math.isfinite(self.at_time) or self.at_time < 0:
+            raise ValueError(
+                f"at_time must be finite and non-negative, got {self.at_time}"
+            )
+        if self.downtime is not None and (
+            not math.isfinite(self.downtime) or self.downtime <= 0
+        ):
+            raise ValueError(
+                f"downtime must be positive and finite, got {self.downtime}"
+            )
 
 
 @dataclass(frozen=True, slots=True)
@@ -109,8 +116,10 @@ class HostFailure:
     def __post_init__(self) -> None:
         if self.vm_index < 0:
             raise ValueError(f"vm_index must be non-negative, got {self.vm_index}")
-        if self.at_time < 0:
-            raise ValueError(f"at_time must be non-negative, got {self.at_time}")
+        if not math.isfinite(self.at_time) or self.at_time < 0:
+            raise ValueError(
+                f"at_time must be finite and non-negative, got {self.at_time}"
+            )
 
 
 @dataclass(frozen=True, slots=True)
@@ -130,10 +139,14 @@ class VmSlowdown:
     def __post_init__(self) -> None:
         if self.vm_index < 0:
             raise ValueError(f"vm_index must be non-negative, got {self.vm_index}")
-        if self.at_time < 0:
-            raise ValueError(f"at_time must be non-negative, got {self.at_time}")
-        if self.duration <= 0:
-            raise ValueError(f"duration must be positive, got {self.duration}")
+        if not math.isfinite(self.at_time) or self.at_time < 0:
+            raise ValueError(
+                f"at_time must be finite and non-negative, got {self.at_time}"
+            )
+        if not math.isfinite(self.duration) or self.duration <= 0:
+            raise ValueError(
+                f"duration must be positive and finite, got {self.duration}"
+            )
         if not 0 < self.factor <= 1:
             raise ValueError(f"factor must be in (0, 1], got {self.factor}")
 

@@ -17,15 +17,18 @@ from __future__ import annotations
 
 import time
 from collections import defaultdict
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.cloud.cloudlet import Cloudlet, CloudletStatus
+from repro.cloud.faults import FaultInjector
 from repro.cloud.simulation import (
     ExecutionModel,
     SimulationResult,
     build_simulation,
     compute_batch_costs,
+    make_cloudlet_scheduler,
 )
 from repro.cloud.vm import Vm
 from repro.core.entity import Entity
@@ -37,6 +40,10 @@ from repro.schedulers.base import SchedulingContext
 from repro.schedulers.online import BatchAdapter, OnlineScheduler
 from repro.workloads.arrivals import ArrivalProcess, BatchArrivals
 from repro.workloads.spec import ScenarioSpec
+
+if TYPE_CHECKING:  # control.py imports this module; keep the cycle type-only
+    from repro.cloud.control import ControlConfig
+    from repro.workloads.timeline import Timeline
 
 
 class OnlineBroker(Entity):
@@ -114,23 +121,32 @@ class OnlineBroker(Entity):
         t0 = time.perf_counter()
         if isinstance(self.policy, BatchAdapter):
             self.policy.begin_wave(np.asarray(indices, dtype=np.int64), self.context)
-        arr = self.context.arrays
         for idx in indices:
-            vm_idx = self.policy.assign(idx, self.now, self.backlog, self.context)
-            if not 0 <= vm_idx < len(self.vms):
-                raise ValueError(
-                    f"policy {self.policy.name!r} returned invalid VM index {vm_idx}"
-                )
-            self.assignment[idx] = vm_idx
-            self.backlog[vm_idx] += float(
-                arr.cloudlet_length[idx] / (arr.vm_mips[vm_idx] * arr.vm_pes[vm_idx])
-            )
-            cloudlet = self.cloudlets[idx]
-            cloudlet.vm_id = self.vms[vm_idx].vm_id
-            self.send_now(
-                self.vm_placement[vm_idx], EventTag.CLOUDLET_SUBMIT, data=cloudlet
-            )
+            self._place_cloudlet(idx)
         self.decision_seconds += time.perf_counter() - t0
+
+    def _choose_vm(self, idx: int) -> int:
+        """Ask the policy for a placement; subclasses may mask/remap it."""
+        vm_idx = self.policy.assign(idx, self.now, self.backlog, self.context)
+        if not 0 <= vm_idx < len(self.vms):
+            raise ValueError(
+                f"policy {self.policy.name!r} returned invalid VM index {vm_idx}"
+            )
+        return vm_idx
+
+    def _place_cloudlet(self, idx: int) -> None:
+        """Place one cloudlet: choose a VM, book the backlog, submit."""
+        vm_idx = self._choose_vm(idx)
+        arr = self.context.arrays
+        self.assignment[idx] = vm_idx
+        self.backlog[vm_idx] += float(
+            arr.cloudlet_length[idx] / (arr.vm_mips[vm_idx] * arr.vm_pes[vm_idx])
+        )
+        cloudlet = self.cloudlets[idx]
+        cloudlet.vm_id = self.vms[vm_idx].vm_id
+        self.send_now(
+            self.vm_placement[vm_idx], EventTag.CLOUDLET_SUBMIT, data=cloudlet
+        )
 
     def _process_return(self, event: Event) -> None:
         cloudlet: Cloudlet = event.data
@@ -160,9 +176,27 @@ class OnlineCloudSimulation:
     policy:
         Online placement policy.
     arrivals:
-        Arrival process (default: the paper's batch-at-zero).
+        Arrival process (default: the paper's batch-at-zero).  A
+        ``timeline`` that drives arrivals (``base_rate`` set) overrides
+        this.
     seed:
-        Root seed for arrivals and the policy's random stream.
+        Root seed for arrivals, timeline compilation and the policy's
+        random stream.
+    timeline:
+        Optional :class:`~repro.workloads.timeline.Timeline` compiled
+        (deterministically, from ``seed``) into arrival dynamics, a fault
+        plan and control-loop triggers.
+    control:
+        Optional :class:`~repro.cloud.control.ControlConfig`; attaches a
+        MAPE-K :class:`~repro.cloud.control.ControlLoop` to the run.
+    standby_vms:
+        Park this many highest-indexed VMs as an inactive reserve without
+        attaching a loop — the *uncontrolled* arm of storm comparisons
+        (with ``control`` set, ``control.standby_vms`` wins).
+
+    With ``timeline=None`` and ``control=None`` (and ``standby_vms=0``)
+    the run takes the original :class:`OnlineBroker` path and reproduces
+    pre-existing results byte-for-byte.
     """
 
     def __init__(
@@ -172,33 +206,97 @@ class OnlineCloudSimulation:
         arrivals: ArrivalProcess | None = None,
         seed: int | None = 0,
         execution_model: ExecutionModel = "space-shared",
+        *,
+        timeline: "Timeline | None" = None,
+        control: "ControlConfig | None" = None,
+        standby_vms: int = 0,
     ) -> None:
         if execution_model not in ("space-shared", "time-shared"):
             raise ValueError(f"unknown execution model {execution_model!r}")
+        if standby_vms < 0:
+            raise ValueError(f"standby_vms must be non-negative, got {standby_vms}")
         self.scenario = scenario
         self.policy = policy
         self.arrivals = arrivals or BatchArrivals()
         self.seed = seed
         self.execution_model = execution_model
+        self.timeline = timeline
+        self.control = control
+        self.standby_vms = standby_vms
 
     def run(self) -> SimulationResult:
         scenario = self.scenario
         context = SchedulingContext.from_scenario(scenario, self.seed)
+
+        compiled = None
+        arrivals = self.arrivals
+        if self.timeline is not None:
+            compiled = self.timeline.compile(scenario.num_vms, seed=self.seed)
+            if compiled.arrivals is not None:
+                arrivals = compiled.arrivals
         arrival_rng = spawn_rng(self.seed, f"arrivals/{scenario.name}")
-        arrival_times = self.arrivals.sample(arrival_rng, scenario.num_cloudlets)
+        arrival_times = arrivals.sample(arrival_rng, scenario.num_cloudlets)
 
         env = build_simulation(scenario, execution_model=self.execution_model)
         sim, cloudlets = env.sim, env.cloudlets
-        broker = OnlineBroker(
-            name="online-broker",
-            vms=env.vms,
-            cloudlets=cloudlets,
-            arrival_times=arrival_times,
-            policy=self.policy,
-            context=context,
-            vm_placement=env.vm_placement,
+
+        fault_plan = tuple(compiled.fault_plan) if compiled is not None else ()
+        standby = (
+            self.control.standby_vms if self.control is not None else self.standby_vms
         )
+        controlled = (
+            self.control is not None or standby > 0 or bool(fault_plan)
+        )
+        if controlled:
+            from repro.cloud.control import ControlledOnlineBroker, ControlLoop
+
+            broker: OnlineBroker = ControlledOnlineBroker(
+                name="online-broker",
+                vms=env.vms,
+                cloudlets=cloudlets,
+                arrival_times=arrival_times,
+                policy=self.policy,
+                context=context,
+                vm_placement=env.vm_placement,
+                standby_vms=standby,
+            )
+        else:
+            broker = OnlineBroker(
+                name="online-broker",
+                vms=env.vms,
+                cloudlets=cloudlets,
+                arrival_times=arrival_times,
+                policy=self.policy,
+                context=context,
+                vm_placement=env.vm_placement,
+            )
         sim.register(broker)
+
+        if fault_plan:
+            sim.register(
+                FaultInjector(
+                    name="timeline-faults",
+                    plan=list(fault_plan),
+                    vm_entity=env.vm_placement,
+                    owner_id=broker.id,
+                    vm_factory=lambda i: scenario.vms[i].build(
+                        vm_id=i,
+                        cloudlet_scheduler=make_cloudlet_scheduler(
+                            self.execution_model
+                        ),
+                    ),
+                )
+            )
+        loop = None
+        if self.control is not None:
+            loop = ControlLoop(
+                name="control-loop",
+                broker=broker,
+                config=self.control,
+                triggers=compiled.triggers if compiled is not None else (),
+            )
+            sim.register(loop)
+
         sim.run()
         if not broker.all_finished:
             raise RuntimeError(
@@ -209,6 +307,23 @@ class OnlineCloudSimulation:
         start = np.array([c.exec_start_time for c in cloudlets])
         finish = np.array([c.finish_time for c in cloudlets])
         costs = compute_batch_costs(scenario, broker.assignment)
+        info: dict = {
+            "engine": "online-des",
+            "policy": self.policy.name,
+            "execution_model": self.execution_model,
+        }
+        if compiled is not None:
+            info["timeline"] = compiled.name
+            info["faults"] = len(fault_plan)
+            if fault_plan:
+                info["first_fault_time"] = compiled.first_fault_time
+        if controlled:
+            info["retries"] = broker.retries
+            info["lost_mi"] = float(sum(dc.lost_mi for dc in env.datacenters))
+            info["recoveries"] = int(sum(dc.recoveries for dc in env.datacenters))
+            info["standby_vms"] = standby
+        if loop is not None:
+            info["control"] = loop.summary()
         return SimulationResult(
             scenario_name=scenario.name,
             scheduler_name=self.policy.name,
@@ -223,11 +338,7 @@ class OnlineCloudSimulation:
             exec_times=finish - start,
             costs=costs,
             events_processed=sim.events_processed,
-            info={
-                "engine": "online-des",
-                "policy": self.policy.name,
-                "execution_model": self.execution_model,
-            },
+            info=info,
         )
 
 

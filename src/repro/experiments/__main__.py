@@ -37,7 +37,7 @@ def build_parser() -> argparse.ArgumentParser:
         "target",
         help=(
             "figure id (fig4a-fig5b, fig6a-fig6d), extension id (ext-*), "
-            "'compare', 'report', 'cache', 'all', or 'list'"
+            "'compare', 'storm', 'report', 'cache', 'all', or 'list'"
         ),
     )
     parser.add_argument(
@@ -66,6 +66,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="scenario family",
     )
     compare.add_argument("--seed", type=int, default=0, help="root seed")
+    storm = parser.add_argument_group("storm options (target 'storm')")
+    storm.add_argument(
+        "--timeline",
+        type=Path,
+        default=None,
+        help=(
+            "JSON timeline spec (Timeline.to_dict form) driving arrivals and "
+            "faults; default: the built-in demo storm"
+        ),
+    )
+    storm.add_argument(
+        "--control",
+        default="on",
+        choices=["on", "off"],
+        help=(
+            "'on' (default) runs calm/uncontrolled/controlled arms; 'off' "
+            "skips nothing but reports make clear the loop was a no-op"
+        ),
+    )
+    storm.add_argument(
+        "--policies",
+        default="greedy-mct,leastloaded",
+        help="comma-separated online policies (roundrobin, random, leastloaded, greedy-mct)",
+    )
+    storm.add_argument(
+        "--seeds", default="0,1", help="comma-separated storm seeds"
+    )
+    storm.add_argument(
+        "--sla", type=float, default=30.0, help="flow-time SLO in seconds"
+    )
+    storm.add_argument(
+        "--standby", type=int, default=2, help="VMs parked as recruitable reserve"
+    )
+    storm.add_argument(
+        "--cadence", type=float, default=0.5, help="control-loop tick period (s)"
+    )
+    storm.add_argument(
+        "--cooldown", type=float, default=2.0, help="per-action cooldown (s)"
+    )
     parser.add_argument(
         "--preset",
         choices=[p.value for p in Preset],
@@ -179,6 +218,76 @@ def run_compare(args) -> int:
     return 0
 
 
+#: online policy registry for the 'storm' target.
+STORM_POLICIES = {
+    "roundrobin": "OnlineRoundRobin",
+    "random": "OnlineRandom",
+    "leastloaded": "OnlineLeastLoaded",
+    "greedy-mct": "OnlineGreedyMCT",
+}
+
+
+def run_storm(args) -> int:
+    """Run a timeline-driven chaos storm with and without the MAPE-K loop."""
+    import repro.schedulers.online as online_policies
+    from repro.analysis.tables import format_table
+    from repro.cloud.chaos import demo_storm_timeline, run_storm_suite
+    from repro.cloud.control import ControlConfig
+    from repro.workloads import heterogeneous_scenario
+    from repro.workloads.timeline import timeline_from_dict
+
+    names = [n.strip() for n in args.policies.split(",") if n.strip()]
+    unknown = [n for n in names if n not in STORM_POLICIES]
+    if unknown:
+        print(
+            f"unknown online polic{'y' if len(unknown) == 1 else 'ies'} "
+            f"{unknown}; available: {sorted(STORM_POLICIES)}",
+            file=sys.stderr,
+        )
+        return 2
+    scenario = heterogeneous_scenario(args.vms, args.cloudlets, seed=args.seed)
+    if args.timeline is not None:
+        import json
+
+        timeline = timeline_from_dict(json.loads(args.timeline.read_text()))
+    else:
+        timeline = demo_storm_timeline(scenario.num_vms)
+    # --control off keeps the three-arm comparison but attaches an inert
+    # loop (thresholds it can never cross), so "controlled" degenerates to
+    # the self-healing baseline — a clean ablation of the loop itself.
+    inert = args.control == "off"
+    control = ControlConfig(
+        cadence=args.cadence,
+        cooldown=args.cooldown,
+        standby_vms=args.standby,
+        imbalance_threshold=1e9 if inert else 2.0,
+        scale_up_backlog=None if inert else 1.5,
+        sla_seconds=args.sla,
+    )
+    seeds = tuple(int(s) for s in args.seeds.split(",") if s.strip())
+    policies = {
+        name: getattr(online_policies, STORM_POLICIES[name]) for name in names
+    }
+    report = run_storm_suite(
+        scenario, policies, timeline, control, seeds=seeds, sla_seconds=args.sla
+    )
+    print(
+        f"Storm {timeline.name!r} on {scenario.name} "
+        f"(seeds={list(seeds)}, sla={args.sla}s, control={args.control})\n"
+    )
+    print(format_table(report.to_rows(), float_format="{:.4g}"))
+    print()
+    for arm in ("uncontrolled", "controlled"):
+        print(
+            f"{arm:12s} mean degradation "
+            f"{report.mean_degradation(arm):.4f}, "
+            f"SLA violations {report.sla_violation_count(arm)}"
+        )
+    path = report.save(args.out / "storm.json")
+    print(f"\n(report written to {path}; render with the 'report' target)")
+    return 0
+
+
 def _report_one(path: Path) -> bool:
     """Render one artifact (run JSON or telemetry JSONL); False if unusable."""
     if path.suffix == ".jsonl":
@@ -193,8 +302,25 @@ def _report_one(path: Path) -> bool:
         print()
         return True
     if path.suffix == ".json":
+        from repro.cloud.chaos import load_report_rows
         from repro.cloud.simulation import SimulationResult
 
+        try:
+            payload = load_report_rows(path)
+        except (OSError, ValueError):
+            payload = None
+        if payload is not None:
+            from repro.analysis.tables import format_table
+
+            title = f"{path} — {payload['kind']} on {payload.get('scenario', '?')}"
+            print(title)
+            print("=" * len(title))
+            print(format_table(payload["rows"], float_format="{:.4g}"))
+            for aggregate in ("mean_degradation", "sla_violations"):
+                if aggregate in payload:
+                    print(f"{aggregate}: {payload[aggregate]}")
+            print()
+            return True
         try:
             result = SimulationResult.load(path)
         except (ValueError, KeyError):
@@ -291,6 +417,9 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.target == "compare":
         return run_compare(args)
+    if args.target == "storm":
+        args.out.mkdir(parents=True, exist_ok=True)
+        return run_storm(args)
     if args.target == "report":
         return run_report(args)
     if args.target == "cache":

@@ -30,7 +30,7 @@ from __future__ import annotations
 import concurrent.futures
 import multiprocessing
 from dataclasses import dataclass
-from typing import Callable, Iterable, Literal
+from typing import TYPE_CHECKING, Callable, Iterable, Literal
 
 from repro.cache import ResultCache, cache_key_manifest
 from repro.cloud.fast import FastSimulation, StreamingResult, StreamingSimulation
@@ -39,7 +39,11 @@ from repro.obs.telemetry import TELEMETRY, TelemetrySnapshot
 from repro.schedulers import Scheduler
 from repro.workloads.spec import ScenarioSpec
 
-Engine = Literal["des", "fast", "stream"]
+if TYPE_CHECKING:
+    from repro.cloud.control import ControlConfig
+    from repro.workloads.timeline import Timeline
+
+Engine = Literal["des", "fast", "stream", "online"]
 ScenarioFactory = Callable[[int, int, int], ScenarioSpec]
 """(num_vms, num_cloudlets, seed) -> scenario (a ScenarioSpec, or a
 ScenarioChunks when the factory is a chunked family)"""
@@ -114,6 +118,9 @@ def run_point(
     engine: Engine = "des",
     cache: "ResultCache | str | None" = None,
     chunk_size: int | None = None,
+    timeline: "Timeline | None" = None,
+    control: "ControlConfig | None" = None,
+    standby_vms: int = 0,
 ) -> "SimulationResult | StreamingResult":
     """Execute one (scenario, scheduler) cell on the chosen engine.
 
@@ -133,15 +140,35 @@ def run_point(
     ``chunk_size`` overrides the stream's chunking and, like the chunk
     count, participates in the cache key.  Other engines ignore
     ``chunk_size`` and materialise a chunked scenario via ``to_spec()``.
+
+    ``engine="online"`` runs :class:`~repro.cloud.online.OnlineCloudSimulation`
+    — ``scheduler`` must then be an
+    :class:`~repro.schedulers.online.OnlineScheduler`.  ``timeline``
+    (a :class:`~repro.workloads.timeline.Timeline`), ``control``
+    (a :class:`~repro.cloud.control.ControlConfig`) and ``standby_vms``
+    shape that run's dynamics; all three are folded into the cache key
+    (via :meth:`Timeline.to_dict`/:meth:`ControlConfig.to_dict`), so a
+    cached storm cell can never be replayed for a different storm.
     """
     if engine == "stream":
         scenario = _as_stream(scenario, chunk_size)
     elif hasattr(scenario, "to_spec"):
         scenario = scenario.to_spec()
+    if engine != "online" and (
+        timeline is not None or control is not None or standby_vms
+    ):
+        raise ValueError(
+            "timeline=/control=/standby_vms= require engine='online', "
+            f"got engine={engine!r}"
+        )
     cache = ResultCache.coerce(cache)
     key = manifest = None
     if cache is not None:
-        manifest = cache_key_manifest(scenario, scheduler, seed, engine)
+        manifest = cache_key_manifest(
+            scenario, scheduler, seed, engine, **_dynamic_extras(
+                timeline, control, standby_vms
+            )
+        )
         key = manifest.fingerprint()
         cached = cache.get(key)
         if cached is not None:
@@ -152,11 +179,43 @@ def run_point(
         result = FastSimulation(scenario, scheduler, seed=seed).run()
     elif engine == "stream":
         result = StreamingSimulation(scenario, scheduler, seed=seed).run()
+    elif engine == "online":
+        from repro.cloud.online import OnlineCloudSimulation
+
+        result = OnlineCloudSimulation(
+            scenario,
+            scheduler,
+            seed=seed,
+            timeline=timeline,
+            control=control,
+            standby_vms=standby_vms,
+        ).run()
     else:
         raise ValueError(f"unknown engine {engine!r}")
     if cache is not None:
         cache.put(key, result, manifest)
     return result
+
+
+def _dynamic_extras(
+    timeline: "Timeline | None",
+    control: "ControlConfig | None",
+    standby_vms: int,
+) -> dict:
+    """Cache-key extras for the dynamic surface.
+
+    Only non-default values contribute, so every pre-existing (engine,
+    scenario, scheduler, seed) fingerprint is unchanged — old cache
+    entries stay valid.
+    """
+    extras: dict = {}
+    if timeline is not None:
+        extras["timeline"] = timeline.to_dict()
+    if control is not None:
+        extras["control"] = control.to_dict()
+    if standby_vms:
+        extras["standby_vms"] = int(standby_vms)
+    return extras
 
 
 def _run_cell(
@@ -168,6 +227,8 @@ def _run_cell(
     engine: Engine,
     cache: "ResultCache | None" = None,
     chunk_size: int | None = None,
+    timeline: "Timeline | None" = None,
+    control: "ControlConfig | None" = None,
 ) -> list[SweepRecord]:
     """Execute one (num_vms, seed) cell: all schedulers on a shared scenario.
 
@@ -190,6 +251,8 @@ def _run_cell(
             engine=engine,
             cache=cache,
             chunk_size=chunk_size,
+            timeline=timeline,
+            control=control,
         )
         record = SweepRecord.from_result(result, num_vms, num_cloudlets, seed)
         if record.scheduler != name:
@@ -209,6 +272,8 @@ def _run_cell_cache_misses(
     engine: Engine,
     cache_root: str,
     chunk_size: int | None = None,
+    timeline: "Timeline | None" = None,
+    control: "ControlConfig | None" = None,
 ) -> list[SweepRecord]:
     """Worker-side runner for the cache-missing schedulers of one cell.
 
@@ -224,9 +289,13 @@ def _run_cell_cache_misses(
     records: list[SweepRecord] = []
     for name, factory in miss_factories.items():
         scheduler = factory()
-        manifest = cache_key_manifest(scenario, scheduler, seed, engine)
+        manifest = cache_key_manifest(
+            scenario, scheduler, seed, engine,
+            **_dynamic_extras(timeline, control, 0),
+        )
         result = run_point(
-            scenario, scheduler, seed=seed, engine=engine, chunk_size=chunk_size
+            scenario, scheduler, seed=seed, engine=engine, chunk_size=chunk_size,
+            timeline=timeline, control=control,
         )
         cache.put(manifest.fingerprint(), result, manifest)
         record = SweepRecord.from_result(result, num_vms, num_cloudlets, seed)
@@ -264,6 +333,8 @@ def run_sweep(
     workers: int | None = None,
     cache: "ResultCache | str | None" = None,
     chunk_size: int | None = None,
+    timeline: "Timeline | None" = None,
+    control: "ControlConfig | None" = None,
 ) -> list[SweepRecord]:
     """Run the full (scheduler × vm_count × seed) grid.
 
@@ -300,6 +371,11 @@ def run_sweep(
         Streaming chunk size, forwarded to the ``"stream"`` engine (other
         engines ignore it).  Streaming metrics are chunk-size-invariant,
         but the chunk geometry is part of the cache key.
+    timeline, control:
+        Dynamic-scenario surface for ``engine="online"`` (see
+        :func:`run_point`); both are frozen dataclasses, so they ship to
+        spawn workers unchanged and participate in every cell's cache
+        key.  Other engines reject them.
 
     Determinism contract: each cell derives every random stream from its
     own ``seed`` argument (scenario synthesis and the per-simulation
@@ -334,6 +410,8 @@ def run_sweep(
                     engine,
                     cache,
                     chunk_size,
+                    timeline,
+                    control,
                 )
             )
         return records
@@ -373,6 +451,8 @@ def run_sweep(
                     engine,
                     None,
                     chunk_size,
+                    timeline,
+                    control,
                 )
                 for num_vms, seed in cells
             ]
@@ -391,7 +471,10 @@ def run_sweep(
             hit_records: dict[str, SweepRecord] = {}
             miss_factories: dict[str, Callable[[], Scheduler]] = {}
             for name, factory in scheduler_factories.items():
-                key = cache.key_for(scenario, factory(), seed, engine)
+                key = cache.key_for(
+                    scenario, factory(), seed, engine,
+                    **_dynamic_extras(timeline, control, 0),
+                )
                 result = cache.get(key)
                 if result is None:
                     miss_factories[name] = factory
@@ -415,6 +498,8 @@ def run_sweep(
                     engine,
                     str(cache.root),
                     chunk_size,
+                    timeline,
+                    control,
                 )
             pending.append((hit_records, list(miss_factories), future))
 

@@ -28,6 +28,7 @@ from repro.metrics.resilience import (
     RecoveryMetrics,
     makespan_degradation,
     recovery_metrics,
+    storm_metrics,
 )
 from repro.metrics.sla import (
     SlaReport,
@@ -63,4 +64,5 @@ __all__ = [
     "RecoveryMetrics",
     "recovery_metrics",
     "makespan_degradation",
+    "storm_metrics",
 ]

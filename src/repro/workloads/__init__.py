@@ -36,6 +36,19 @@ from repro.workloads.synthetic import (
     DistributionSpec,
     SyntheticWorkloadBuilder,
 )
+from repro.workloads.timeline import (
+    Burst,
+    Drift,
+    RateChange,
+    RateRamp,
+    Timeline,
+    TimelineArrivals,
+    Trigger,
+    VmFault,
+    parse_duration,
+    parse_time,
+    timeline_from_dict,
+)
 from repro.workloads.tracelike import diurnal_arrivals_for, tracelike_scenario
 from repro.workloads.traces import load_scenario, save_scenario
 
@@ -62,4 +75,15 @@ __all__ = [
     "DiurnalArrivals",
     "tracelike_scenario",
     "diurnal_arrivals_for",
+    "Timeline",
+    "TimelineArrivals",
+    "RateChange",
+    "RateRamp",
+    "Burst",
+    "VmFault",
+    "Drift",
+    "Trigger",
+    "parse_time",
+    "parse_duration",
+    "timeline_from_dict",
 ]

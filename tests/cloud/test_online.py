@@ -129,3 +129,74 @@ class TestValidation:
 
         with pytest.raises(ValueError, match="invalid VM index"):
             OnlineCloudSimulation(small_hetero, Broken(), seed=0).run()
+
+
+class TestBrokerEdgeCases:
+    """PR 6 edge cases: empty waves, cancelled tails, interleaved notices."""
+
+    def _broker(self, num_vms=3, num_cloudlets=5, **kwargs):
+        from repro.cloud.control import ControlledOnlineBroker
+
+        return ControlledOnlineBroker(
+            name="broker",
+            vms=[object() for _ in range(num_vms)],
+            cloudlets=[object() for _ in range(num_cloudlets)],
+            arrival_times=np.zeros(num_cloudlets),
+            policy=None,
+            context=None,
+            vm_placement={i: 0 for i in range(num_vms)},
+            **kwargs,
+        )
+
+    def test_empty_arrival_wave_is_harmless(self):
+        """A wave instant with no cloudlets places nothing and doesn't raise."""
+        broker = self._broker()
+        before = broker.assignment.copy()
+        broker._process_wave(123.456)  # instant that never had arrivals
+        np.testing.assert_array_equal(broker.assignment, before)
+        assert all(not s for s in broker._inflight)
+
+    def test_cancel_tail_keeps_one_cloudlet(self):
+        """Cancelling everything on a VM always spares one resident."""
+        broker = self._broker()
+        broker.send_now = lambda *args, **kwargs: None  # detached from a sim
+        broker._inflight[1] = {0, 1, 2}
+        assert broker.cancel_for_rebalance(1, max_cancel=10) == 2
+        assert broker.rebalance_cancels == 2
+
+    def test_cancel_sole_cloudlet_is_refused(self):
+        broker = self._broker()
+        broker._inflight[0] = {4}
+        assert broker.cancel_for_rebalance(0, max_cancel=5) == 0
+        assert broker.rebalance_cancels == 0
+
+    def test_cancel_skips_pinned_and_already_bouncing(self):
+        broker = self._broker()
+        broker.send_now = lambda *args, **kwargs: None
+        broker._inflight[2] = {0, 1, 2, 3}
+        broker.moves[0] = broker.max_attempts  # pinned: moved too often
+        broker._planned_bounces.add(1)  # already mid-bounce
+        assert broker.cancel_for_rebalance(2, max_cancel=10) == 2
+        assert broker._planned_bounces == {1, 2, 3}
+
+    def test_all_finished_on_empty_workload(self):
+        broker = self._broker(num_cloudlets=0)
+        assert broker.all_finished
+
+    def test_all_finished_under_interleaved_fault_notices(self, small_hetero):
+        """Fault notices between returns never confuse completion tracking."""
+        from repro.workloads.timeline import Timeline, VmFault
+
+        timeline = Timeline(
+            entries=(
+                VmFault(at="+0.5s", vm_index=0, downtime="2s"),
+                VmFault(at="+1.5s", vm_index=1, downtime="2s"),
+            ),
+            name="interleaved",
+        )
+        result = OnlineCloudSimulation(
+            small_hetero, OnlineGreedyMCT(), seed=0, timeline=timeline
+        ).run()
+        assert len(np.unique(result.assignment >= 0)) == 1
+        assert (result.finish_times > 0).all()
+        assert result.info["faults"] == 2

@@ -165,3 +165,79 @@ class TestFigureJsonRoundTrip:
 
         with _pytest.raises(ValueError, match="format version"):
             FigureData.from_json_dict(bad)
+
+
+class TestStormTarget:
+    STORM_ARGS = [
+        "storm",
+        "--vms", "6",
+        "--cloudlets", "24",
+        "--policies", "greedy-mct",
+        "--seeds", "0",
+    ]
+
+    def test_storm_runs_and_saves_report(self, tmp_path, capsys):
+        assert main([*self.STORM_ARGS, "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "controlled_degradation" in out
+        assert "uncontrolled" in out
+        assert (tmp_path / "storm.json").exists()
+
+    def test_storm_control_off_is_inert(self, tmp_path, capsys):
+        assert main(
+            [*self.STORM_ARGS, "--control", "off", "--out", str(tmp_path)]
+        ) == 0
+        import json as _json
+
+        payload = _json.loads((tmp_path / "storm.json").read_text())
+        assert payload["control"]["scale_up_backlog"] is None
+
+    def test_storm_custom_timeline_file(self, tmp_path, capsys):
+        import json as _json
+
+        from repro.workloads.timeline import Timeline, VmFault
+
+        timeline = Timeline(
+            base_rate=8.0,
+            entries=(VmFault(at="+2s", vm_index=1, downtime="4s"),),
+            name="from-file",
+        )
+        spec = tmp_path / "timeline.json"
+        spec.write_text(_json.dumps(timeline.to_dict()))
+        assert main(
+            [*self.STORM_ARGS, "--timeline", str(spec), "--out", str(tmp_path)]
+        ) == 0
+        payload = _json.loads((tmp_path / "storm.json").read_text())
+        assert payload["timeline"] == "from-file"
+
+
+class TestReportRendersChaosArtifacts:
+    def test_storm_json_round_trips_through_report(self, tmp_path, capsys):
+        assert main([
+            "storm", "--vms", "6", "--cloudlets", "24",
+            "--policies", "greedy-mct", "--seeds", "0",
+            "--out", str(tmp_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", str(tmp_path / "storm.json")]) == 0
+        out = capsys.readouterr().out
+        assert "storm-report" in out
+        assert "controlled_degradation" in out
+        assert "mean_degradation" in out
+
+    def test_chaos_json_renders_rows(self, tmp_path, capsys):
+        from repro.cloud.chaos import ChaosConfig, run_chaos_suite
+        from repro.schedulers import RoundRobinScheduler
+        from repro.workloads.heterogeneous import heterogeneous_scenario
+
+        report = run_chaos_suite(
+            heterogeneous_scenario(5, 20, seed=1),
+            {"rr": RoundRobinScheduler()},
+            seeds=(0,),
+            config=ChaosConfig(num_vm_failures=1, num_stragglers=0),
+        )
+        path = report.save(tmp_path / "chaos.json")
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "chaos-report" in out
+        assert "resched_degradation" in out

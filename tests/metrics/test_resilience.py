@@ -1,0 +1,129 @@
+"""Edge-case contract of the recovery/storm metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cloud.simulation import SimulationResult
+from repro.metrics.resilience import (
+    RecoveryMetrics,
+    makespan_degradation,
+    recovery_metrics,
+    storm_metrics,
+)
+
+
+def make_result(
+    makespan=10.0,
+    n=4,
+    info=None,
+    finish=None,
+    submission=None,
+    scenario_name="s",
+):
+    finish = np.asarray(finish if finish is not None else np.full(n, makespan))
+    submission = np.asarray(submission if submission is not None else np.zeros(n))
+    start = submission.copy()
+    return SimulationResult(
+        scenario_name=scenario_name,
+        scheduler_name="sched",
+        scheduling_time=0.0,
+        makespan=makespan,
+        time_imbalance=0.0,
+        total_cost=0.0,
+        assignment=np.zeros(n, dtype=np.int64),
+        submission_times=submission,
+        start_times=start,
+        finish_times=finish,
+        exec_times=finish - start,
+        costs=np.zeros(n),
+        info=dict(info or {}),
+    )
+
+
+class TestMakespanDegradation:
+    def test_plain_ratio(self):
+        assert makespan_degradation(10.0, 12.5) == 1.25
+
+    @pytest.mark.parametrize("baseline", [0.0, -1.0, math.nan, math.inf])
+    def test_degenerate_baseline_is_nan(self, baseline):
+        assert math.isnan(makespan_degradation(baseline, 12.5))
+
+
+class TestRecoveryMetricsContract:
+    def test_no_faults_reports_clean_run(self):
+        """A faulted run that saw no faults: ratio ~1, all counters zero."""
+        metrics = recovery_metrics(make_result(), make_result())
+        assert metrics.makespan_degradation == 1.0
+        assert metrics.completed_fraction == 1.0
+        assert metrics.retries == 0
+        assert metrics.dead_lettered == 0
+        assert metrics.mttr == 0.0
+        assert metrics.sla_violations == 0
+        assert metrics.time_to_restabilize == 0.0
+
+    def test_no_recovery_observed_mttr_zero(self):
+        metrics = recovery_metrics(
+            make_result(), make_result(info={"retries": 0, "mttr": 0.0})
+        )
+        assert metrics.mttr == 0.0
+
+    def test_empty_workload_fraction_nan(self):
+        metrics = recovery_metrics(make_result(n=0), make_result(n=0))
+        assert math.isnan(metrics.completed_fraction)
+
+    def test_zero_baseline_degradation_nan(self):
+        metrics = recovery_metrics(make_result(makespan=0.0), make_result())
+        assert math.isnan(metrics.makespan_degradation)
+
+    def test_scenario_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="scenario mismatch"):
+            recovery_metrics(make_result(), make_result(scenario_name="other"))
+
+    def test_summary_includes_storm_fields(self):
+        summary = RecoveryMetrics(
+            makespan_degradation=1.0,
+            completed_fraction=1.0,
+            retries=0,
+            dead_lettered=0,
+            lost_mi=0.0,
+            mttr=0.0,
+            reschedules=0,
+        ).summary()
+        assert summary["sla_violations"] == 0.0
+        assert summary["time_to_restabilize"] == 0.0
+
+
+class TestStormMetrics:
+    def test_no_slo_passes_through(self):
+        metrics = storm_metrics(make_result(), make_result())
+        assert metrics.sla_violations == 0
+        assert metrics.time_to_restabilize == 0.0
+
+    def test_counts_flow_time_violations(self):
+        stormy = make_result(
+            finish=[5.0, 40.0, 50.0, 8.0],
+            submission=[0.0, 2.0, 3.0, 1.0],
+            info={"first_fault_time": 4.0},
+        )
+        metrics = storm_metrics(make_result(), stormy, sla_seconds=30.0)
+        assert metrics.sla_violations == 2
+        assert metrics.time_to_restabilize == 50.0 - 4.0
+
+    def test_no_fault_time_means_zero_restabilize(self):
+        stormy = make_result(finish=[100.0, 100.0, 100.0, 100.0])
+        metrics = storm_metrics(make_result(), stormy, sla_seconds=30.0)
+        assert metrics.sla_violations == 4
+        assert metrics.time_to_restabilize == 0.0
+
+    def test_no_violations_means_zero_restabilize(self):
+        stormy = make_result(info={"first_fault_time": 1.0})
+        metrics = storm_metrics(make_result(), stormy, sla_seconds=30.0)
+        assert metrics.sla_violations == 0
+        assert metrics.time_to_restabilize == 0.0
+
+    @pytest.mark.parametrize("sla", [0.0, -1.0, math.nan, math.inf])
+    def test_bad_slo_rejected(self, sla):
+        with pytest.raises(ValueError, match="sla_seconds"):
+            storm_metrics(make_result(), make_result(), sla_seconds=sla)

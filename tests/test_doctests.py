@@ -27,6 +27,7 @@ MODULES_WITH_EXAMPLES = [
     "repro.schedulers.streaming",
     "repro.experiments.profiling",
     "repro.analysis.report_md",
+    "repro.metrics.resilience",
 ]
 
 

@@ -1,0 +1,313 @@
+"""Tests for the declarative dynamic-scenario timeline DSL."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cloud.faults import VmFailure, VmSlowdown
+from repro.workloads.timeline import (
+    Burst,
+    Drift,
+    RateChange,
+    RateRamp,
+    Timeline,
+    TimelineArrivals,
+    Trigger,
+    VmFault,
+    parse_duration,
+    parse_time,
+    sample_from_spec,
+    timeline_from_dict,
+)
+
+
+class TestParsers:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (90, 90.0),
+            (1.5, 1.5),
+            ("45s", 45.0),
+            ("30m", 1800.0),
+            ("2h", 7200.0),
+            ("1d", 86400.0),
+            ("1.5h", 5400.0),
+            ("90", 90.0),
+        ],
+    )
+    def test_parse_duration(self, value, expected):
+        assert parse_duration(value) == expected
+
+    @pytest.mark.parametrize("bad", ["", "h", "-5s", "2 hours", "1h30m", "+2h"])
+    def test_parse_duration_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_duration(bad)
+
+    def test_parse_duration_rejects_negative_number(self):
+        with pytest.raises(ValueError):
+            parse_duration(-1.0)
+
+    def test_parse_duration_rejects_non_string(self):
+        with pytest.raises(TypeError):
+            parse_duration(None)
+
+    def test_parse_time_offset_form(self):
+        assert parse_time("+2h") == 7200.0
+        assert parse_time("+90s") == parse_time("90s") == parse_time(90)
+
+    def test_parse_time_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_time("+later")
+
+
+class TestSampleFromSpec:
+    def test_plain_number_passes_through(self, rng):
+        assert sample_from_spec(3.5, rng) == 3.5
+
+    def test_value_mapping(self, rng):
+        assert sample_from_spec({"value": 7}, rng) == 7.0
+
+    def test_uniform_respects_bounds(self, rng):
+        draws = [
+            sample_from_spec({"distribution": "uniform", "min": 2, "max": 5}, rng)
+            for _ in range(50)
+        ]
+        assert all(2 <= d <= 5 for d in draws)
+
+    def test_normal_is_clipped(self, rng):
+        spec = {"distribution": "normal", "min": 0, "max": 1, "stddev": 100}
+        draws = [sample_from_spec(spec, rng) for _ in range(50)]
+        assert all(0 <= d <= 1 for d in draws)
+
+    def test_exponential_positive(self, rng):
+        spec = {"distribution": "exponential", "mean": 2.0}
+        assert sample_from_spec(spec, rng) > 0
+
+    def test_unknown_distribution(self, rng):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            sample_from_spec({"distribution": "weibull"}, rng)
+
+    def test_inverted_bounds(self, rng):
+        with pytest.raises(ValueError, match="min <= max"):
+            sample_from_spec({"distribution": "uniform", "min": 5, "max": 2}, rng)
+
+    def test_non_mapping_rejected(self, rng):
+        with pytest.raises(TypeError):
+            sample_from_spec("lots", rng)
+
+
+class TestEntryValidation:
+    def test_rate_change_normalizes_at(self):
+        assert RateChange(at="+1m", rate=4.0).at == 60.0
+
+    def test_ramp_requires_positive_duration(self):
+        with pytest.raises(ValueError, match="duration must be positive"):
+            RateRamp(at=0.0, duration=0.0, to_rate=5.0)
+
+    def test_burst_count_floor(self):
+        with pytest.raises(ValueError, match="count must be >= 1"):
+            Burst(at=1.0, count=0)
+
+    def test_vm_fault_negative_index(self):
+        with pytest.raises(ValueError, match="vm_index"):
+            VmFault(at=1.0, vm_index=-1)
+
+    def test_vm_fault_downtime_string(self):
+        assert VmFault(at=1.0, vm_index=0, downtime="2m").downtime == 120.0
+
+    def test_drift_parses_duration_string(self):
+        drift = Drift(at="+5s", vm_index=0, duration="10s", factor=0.5)
+        assert drift.at == 5.0 and drift.duration == 10.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"metric": "cpu", "op": ">", "threshold": 1, "action": "rebalance"},
+            {"metric": "imbalance", "op": "==", "threshold": 1, "action": "rebalance"},
+            {"metric": "imbalance", "op": ">", "threshold": 1, "action": "explode"},
+            {
+                "metric": "imbalance",
+                "op": ">",
+                "threshold": math.nan,
+                "action": "rebalance",
+            },
+        ],
+    )
+    def test_trigger_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            Trigger(**kwargs)
+
+    def test_trigger_holds_all_ops(self):
+        assert Trigger("imbalance", ">", 2.0, "rebalance").holds(3.0)
+        assert Trigger("imbalance", ">=", 2.0, "rebalance").holds(2.0)
+        assert Trigger("pending", "<", 2.0, "scale_down").holds(1.0)
+        assert Trigger("pending", "<=", 2.0, "scale_down").holds(2.0)
+        assert not Trigger("imbalance", ">", 2.0, "rebalance").holds(2.0)
+
+
+class TestTimeline:
+    def test_rate_entries_require_base_rate(self):
+        with pytest.raises(ValueError, match="no base_rate"):
+            Timeline(entries=(RateChange(at=1.0, rate=2.0),))
+
+    def test_base_rate_must_be_positive(self):
+        with pytest.raises(ValueError, match="base_rate"):
+            Timeline(base_rate=0.0)
+
+    def test_rejects_unknown_entry(self):
+        with pytest.raises(TypeError, match="unknown timeline entry"):
+            Timeline(entries=("burst at noon",))
+
+    def test_without_faults_strips_faults_and_renames(self):
+        tl = Timeline(
+            base_rate=2.0,
+            entries=(
+                Burst(at=1.0, count=5),
+                VmFault(at=2.0, vm_index=0, downtime=1.0),
+                Drift(at=3.0, vm_index=1, duration=2.0, factor=0.5),
+            ),
+            name="storm",
+        )
+        calm = tl.without_faults()
+        assert calm.name == "storm-calm"
+        assert calm.fault_entries == ()
+        assert len(calm.entries) == 1
+        assert tl.fault_entries == tl.entries[1:]
+
+    def test_compile_is_deterministic(self):
+        tl = Timeline(
+            base_rate=4.0,
+            entries=(
+                RateRamp(
+                    at=1.0,
+                    duration=2.0,
+                    to_rate={"distribution": "uniform", "min": 6, "max": 9},
+                ),
+                VmFault(
+                    at=2.0,
+                    vm_index=1,
+                    downtime={"distribution": "uniform", "min": 1, "max": 3},
+                ),
+            ),
+        )
+        a, b = tl.compile(4, seed=7), tl.compile(4, seed=7)
+        assert a.fault_plan == b.fault_plan
+        rng_a, rng_b = np.random.default_rng(0), np.random.default_rng(0)
+        np.testing.assert_array_equal(
+            a.arrivals.sample(rng_a, 50), b.arrivals.sample(rng_b, 50)
+        )
+        other = tl.compile(4, seed=8)
+        assert other.fault_plan != a.fault_plan
+
+    def test_entry_streams_are_independent(self):
+        fault = VmFault(
+            at=2.0,
+            vm_index=0,
+            downtime={"distribution": "uniform", "min": 1, "max": 3},
+        )
+        alone = Timeline(entries=(fault,)).compile(2, seed=3)
+        with_more = Timeline(
+            entries=(fault, VmFault(at=5.0, vm_index=1, downtime=1.0))
+        ).compile(2, seed=3)
+        assert alone.fault_plan[0] == with_more.fault_plan[0]
+
+    def test_overlapping_ramps_rejected(self):
+        tl = Timeline(
+            base_rate=2.0,
+            entries=(
+                RateRamp(at=1.0, duration=5.0, to_rate=8.0),
+                RateChange(at=3.0, rate=1.0),
+            ),
+        )
+        with pytest.raises(ValueError, match="overlap"):
+            tl.compile(2, seed=0)
+
+    def test_fault_plan_kinds(self):
+        tl = Timeline(
+            entries=(
+                VmFault(at=1.0, vm_index=0, downtime=2.0),
+                Drift(at=2.0, vm_index=1, duration=3.0, factor=0.5),
+            )
+        )
+        compiled = tl.compile(2, seed=0)
+        assert isinstance(compiled.fault_plan[0], VmFailure)
+        assert isinstance(compiled.fault_plan[1], VmSlowdown)
+        assert compiled.arrivals is None
+        assert compiled.first_fault_time == 1.0
+
+    def test_first_fault_time_nan_without_faults(self):
+        compiled = Timeline(base_rate=1.0).compile(2, seed=0)
+        assert math.isnan(compiled.first_fault_time)
+
+    def test_overlapping_downtimes_rejected_at_compile(self):
+        tl = Timeline(
+            entries=(
+                VmFault(at=1.0, vm_index=0, downtime=10.0),
+                VmFault(at=5.0, vm_index=0, downtime=2.0),
+            )
+        )
+        with pytest.raises(ValueError, match="before recovering"):
+            tl.compile(2, seed=0)
+
+    def test_fault_index_out_of_range(self):
+        tl = Timeline(entries=(VmFault(at=1.0, vm_index=9),))
+        with pytest.raises(ValueError):
+            tl.compile(2, seed=0)
+
+    def test_to_dict_round_trip(self):
+        tl = Timeline(
+            base_rate=3.0,
+            entries=(
+                RateChange(at="+1m", rate=5.0),
+                RateRamp(at="+2m", duration="30s", to_rate={"value": 8}),
+                Burst(at="+3m", count=10),
+                VmFault(at="+4m", vm_index=1, downtime="20s"),
+                Drift(at="+5m", vm_index=2, duration=15.0, factor=0.25),
+            ),
+            triggers=(Trigger("imbalance", ">", 2.5, "rebalance", once=False),),
+            name="round-trip",
+        )
+        rebuilt = timeline_from_dict(tl.to_dict())
+        assert rebuilt == tl
+        assert rebuilt.to_dict() == tl.to_dict()
+
+    def test_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown timeline entry kind"):
+            timeline_from_dict({"entries": [{"kind": "meteor-strike", "at": 1.0}]})
+
+
+class TestTimelineArrivals:
+    def _arrivals(self, tl, seed=0, num_vms=4):
+        return tl.compile(num_vms, seed=seed).arrivals
+
+    def test_times_sorted_nonnegative(self):
+        tl = Timeline(
+            base_rate=5.0,
+            entries=(RateRamp(at=2.0, duration=4.0, to_rate=20.0),),
+        )
+        times = self._arrivals(tl).sample(np.random.default_rng(1), 200)
+        assert times.shape == (200,)
+        assert np.all(np.diff(times) >= 0)
+        assert times[0] >= 0
+
+    def test_rate_change_shifts_density(self):
+        slow = Timeline(base_rate=1.0)
+        fast = Timeline(base_rate=1.0, entries=(RateChange(at=5.0, rate=50.0),))
+        t_slow = self._arrivals(slow).sample(np.random.default_rng(2), 100)
+        t_fast = self._arrivals(fast).sample(np.random.default_rng(2), 100)
+        assert t_fast[-1] < t_slow[-1]
+
+    def test_burst_lands_at_instant(self):
+        tl = Timeline(base_rate=0.5, entries=(Burst(at=3.0, count=40),))
+        times = self._arrivals(tl).sample(np.random.default_rng(3), 60)
+        assert np.count_nonzero(times == 3.0) >= 40 - np.count_nonzero(times < 3.0)
+        assert np.count_nonzero(times == 3.0) > 0
+
+    def test_final_piece_must_be_unbounded(self):
+        with pytest.raises(ValueError, match="final rate piece"):
+            TimelineArrivals(((0.0, 10.0, 2.0, 0.0),))
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ValueError, match="at least one piece"):
+            TimelineArrivals(())
