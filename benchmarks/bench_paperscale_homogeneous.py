@@ -9,21 +9,34 @@ process's peak RSS, per chunk size.
 
 ``--benchmark-only`` selects these; the 1M point runs a single round (the
 workload itself is the repetition).
+
+Run as a script to regenerate the committed 10M serial-vs-sharded record
+(``BENCH_paperscale.json``)::
+
+    PYTHONPATH=src:. python benchmarks/bench_paperscale_homogeneous.py
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from pathlib import Path
+
 import pytest
 
-from repro.cloud.fast import StreamingSimulation, peak_rss_bytes
+from repro.cloud.fast import StreamingSimulation, peak_rss_bytes, shutdown_shard_pool
 from repro.schedulers.streaming import make_streaming_scheduler
 from repro.workloads.streaming import homogeneous_stream
 
 #: the paper's headline workload size.
 PAPER_CLOUDLETS = 1_000_000
+#: the ROADMAP's next decade, exercised serial vs sharded.
+TENX_CLOUDLETS = 10_000_000
 #: Fig. 4a/5a's smallest fleet (keeps per-VM accumulators tiny).
 NUM_VMS = 1_000
 SEED = 0
+BENCH_SHARDS = 4
 
 #: chunk-size sweep: memory/throughput trade-off, metrics invariant.
 CHUNK_SIZES = (16_384, 65_536, 262_144)
@@ -89,3 +102,116 @@ def test_paperscale_200k_scheduler_sweep(benchmark, name):
     optimum = -(-200_000 // NUM_VMS) * 250.0 / 1000.0
     assert result.makespan <= optimum * 1.1
     assert result.peak_rss_bytes == peak_rss_bytes()
+
+
+@pytest.mark.parametrize("shards", [None, BENCH_SHARDS])
+def test_paperscale_10m_serial_vs_sharded(benchmark, shards):
+    """The 10M-cloudlet point, serially and through the shard pool.
+
+    Pins the refactor's contract at the next decade of scale: the sharded
+    run must reproduce the serial metrics bit-for-bit (constant-workload
+    merges are exact at any shard count) while staying inside the bounded
+    memory envelope.  Relative timing depends on core count — the
+    committed record lives in ``BENCH_paperscale.json`` (see ``main``).
+    """
+    stream = homogeneous_stream(
+        NUM_VMS, TENX_CLOUDLETS, seed=SEED, chunk_size=65_536
+    )
+
+    def run():
+        return StreamingSimulation(
+            stream, make_streaming_scheduler("basetest"), seed=SEED, shards=shards
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _record(benchmark, result)
+    benchmark.extra_info["shards"] = result.info["shards"]
+    # ceil(1e7 / 1e3) * 250 / 1000 = 2500 s exactly, any shard count.
+    assert result.makespan == 2500.0
+    if shards:
+        shutdown_shard_pool()
+
+
+def _bench_point(name: str, shards: int | None, rounds: int = 2):
+    """Best-of-``rounds`` timing for one (scheduler, mode) 10M cell."""
+    stream = homogeneous_stream(
+        NUM_VMS, TENX_CLOUDLETS, seed=SEED, chunk_size=65_536
+    )
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = StreamingSimulation(
+            stream, make_streaming_scheduler(name), seed=SEED, shards=shards
+        ).run()
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+def main(
+    out: "str | Path" = Path(__file__).parent.parent / "BENCH_paperscale.json",
+) -> Path:
+    """Regenerate the committed 10M serial-vs-sharded streaming record.
+
+    Every row re-verifies the shard contract (bit-identical metrics and
+    per-VM accumulators) before its timings are recorded, so the file can
+    never pin a speedup obtained from a divergent result.  ``cpu_count``
+    is recorded because the speedup column only means something relative
+    to it: with one core the pool serialises and sharding is pure
+    overhead; parallel speedup needs >= ``shards`` cores.
+    """
+    rows = []
+    for name in ("basetest", "greedy-mct", "honeybee", "rbs"):
+        serial, serial_s = _bench_point(name, None)
+        sharded, sharded_s = _bench_point(name, BENCH_SHARDS)
+        for field in ("makespan", "time_imbalance", "total_cost"):
+            a, b = getattr(serial, field), getattr(sharded, field)
+            if a != b:
+                raise AssertionError(f"{name}: sharded {field} diverged: {a!r} != {b!r}")
+        if serial.vm_finish_times.tobytes() != sharded.vm_finish_times.tobytes():
+            raise AssertionError(f"{name}: sharded vm_finish_times diverged")
+        if serial.vm_costs.tobytes() != sharded.vm_costs.tobytes():
+            raise AssertionError(f"{name}: sharded vm_costs diverged")
+        rows.append(
+            {
+                "scheduler": name,
+                "serial_seconds": round(serial_s, 3),
+                "sharded_seconds": round(sharded_s, 3),
+                "speedup_sharded_vs_serial": round(serial_s / sharded_s, 3),
+                "serial_throughput_cloudlets_per_s": round(TENX_CLOUDLETS / serial_s),
+                "sharded_throughput_cloudlets_per_s": round(TENX_CLOUDLETS / sharded_s),
+                "serial_peak_rss_mb": round(serial.peak_rss_bytes / 2**20, 1),
+                "sharded_peak_rss_mb": round(sharded.peak_rss_bytes / 2**20, 1),
+                "makespan": serial.makespan,
+                "bit_identical": True,
+            }
+        )
+        print(
+            f"{name:12s} serial {serial_s:6.2f}s  "
+            f"sharded({BENCH_SHARDS}) {sharded_s:6.2f}s  bit-identical"
+        )
+    shutdown_shard_pool()
+    payload = {
+        "benchmark": "paperscale_streaming",
+        "num_cloudlets": TENX_CLOUDLETS,
+        "num_vms": NUM_VMS,
+        "chunk_size": 65_536,
+        "seed": SEED,
+        "shards": BENCH_SHARDS,
+        "cpu_count": os.cpu_count(),
+        "note": (
+            "speedup_sharded_vs_serial is relative to cpu_count: the shard "
+            "pool runs one worker per shard, so >= 'shards' cores are needed "
+            "for parallel speedup; on fewer cores the column measures "
+            "dispatch+merge overhead. peak RSS is the ru_maxrss high-water "
+            "mark, max across parent and shard workers."
+        ),
+        "rows": rows,
+    }
+    out = Path(out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"written to {out}")
+    return out
+
+
+if __name__ == "__main__":
+    main()

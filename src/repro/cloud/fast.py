@@ -18,9 +18,11 @@ property-based tests (``tests/cloud/test_fast_vs_des.py``).
 from __future__ import annotations
 
 import heapq
+import multiprocessing
 import resource
 import sys
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -31,13 +33,14 @@ from repro.metrics.definitions import makespan as makespan_metric
 from repro.metrics.definitions import processing_cost, time_imbalance
 from repro.obs.manifest import capture_manifest
 from repro.obs.telemetry import TELEMETRY as _TEL
+from repro.obs.telemetry import TelemetrySnapshot
 from repro.schedulers.base import Scheduler, SchedulingContext
 from repro.workloads.spec import ScenarioArrays, ScenarioSpec
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cloud.simulation import SimulationResult
     from repro.schedulers.streaming import StreamingScheduler
-    from repro.workloads.streaming import ScenarioChunks
+    from repro.workloads.streaming import ScenarioChunks, ShardPlan
 
 
 def grouped_fifo_times(
@@ -262,6 +265,211 @@ class StreamingResult:
         }
 
 
+def _repeated_add_fold(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Left fold of ``counts[i]`` float additions of ``values[i]``, per position.
+
+    ``out[i] = fl((...((0 + v) + v)...) + v)`` with ``counts[i]`` addends —
+    exactly the value the serial ``np.add.at`` fold leaves on a VM that
+    receives the same constant every time (``0 + v == v`` exactly, and
+    ``np.add.accumulate`` is a strict left fold).  Grouped by unique value,
+    so the cost is O(unique_values · max_count) — trivial for a fleet of a
+    few VM types.
+    """
+    out = np.zeros(values.shape[0])
+    counts = np.asarray(counts, dtype=np.int64)
+    active = counts > 0
+    if not active.any():
+        return out
+    kmax = int(counts.max())
+    for v in np.unique(values[active]):
+        sel = active & (values == v)
+        acc = np.add.accumulate(np.full(kmax, v))
+        out[sel] = acc[counts[sel] - 1]
+    return out
+
+
+def _validate_chunk(assignment: np.ndarray, k: int, m: int, offset: int) -> None:
+    arr = np.asarray(assignment)
+    if arr.shape != (k,):
+        raise ValueError(
+            f"chunk at offset {offset}: assignment shape {arr.shape} != ({k},)"
+        )
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise ValueError(
+            f"chunk at offset {offset}: assignment must be integral, "
+            f"got dtype {arr.dtype}"
+        )
+    if arr.size and (arr.min() < 0 or arr.max() >= m):
+        raise ValueError(
+            f"chunk at offset {offset}: assignment values must be in [0, {m})"
+        )
+
+
+@dataclass
+class ShardOutcome:
+    """Per-shard accumulators produced by :func:`execute_shard`.
+
+    Everything a parent needs to merge shards exactly: the per-VM partial
+    sums, the min/max execution-time envelope, and the worker-side
+    telemetry values (``peak_rss_bytes``, chunk count) that must be
+    aggregated max-wise / sum-wise rather than last-wins.
+    """
+
+    shard_index: int
+    num_chunks: int
+    scheduling_time: float
+    backlog: np.ndarray
+    vm_costs: np.ndarray
+    #: per-VM assignment counts (int64) — exactly mergeable, lets the merge
+    #: rebuild the serial float fold bit-for-bit on constant workloads.
+    counts: np.ndarray
+    exec_min: float
+    exec_max: float
+    peak_rss_bytes: int
+    assigner_info: dict[str, Any]
+    #: collect mode only: concatenated per-chunk arrays, shard-local times.
+    collected: "dict[str, np.ndarray] | None" = None
+
+
+def execute_shard(
+    stream: "ScenarioChunks",
+    scheduler: "StreamingScheduler",
+    seed: int | None,
+    plan: "ShardPlan",
+    carry: "dict[str, Any] | None" = None,
+    collect: bool = False,
+) -> ShardOutcome:
+    """Run one shard's chunks through the execution fold.
+
+    This is the execute layer of the plan → execute → merge split: the
+    chunk loop :class:`StreamingSimulation` always ran, parameterised by a
+    chunk range and a carried-in assigner state.  The serial path is the
+    degenerate call (whole-stream plan, no carry), so ``shards=1`` is the
+    historical behaviour by construction.  Collect-mode start/finish
+    times are shard-local; the merger shifts them by the per-VM backlog
+    prefix of earlier shards.
+    """
+    m = stream.num_vms
+    rng = spawn_rng(seed, f"scheduler/{stream.name}")
+
+    t0 = time.perf_counter()
+    with _TEL.span("sim.schedule"):
+        if carry is None:
+            assigner = scheduler.open(stream, rng)
+        else:
+            assigner = scheduler.open(stream, rng, carry)
+    scheduling_time = time.perf_counter() - t0
+
+    backlog = np.zeros(m)
+    vm_costs = np.zeros(m)
+    counts = np.zeros(m, dtype=np.int64)
+    exec_min, exec_max = np.inf, -np.inf
+    num_chunks = 0
+    parts: dict[str, list[np.ndarray]] = (
+        {k: [] for k in ("assignment", "start", "finish", "costs")}
+        if collect
+        else {}
+    )
+
+    for offset, chunk in stream.iter_range(plan.chunk_start, plan.chunk_stop):
+        num_chunks += 1
+        t0 = time.perf_counter()
+        with _TEL.span("sim.schedule"):
+            assignment = assigner.assign(chunk, offset)
+        scheduling_time += time.perf_counter() - t0
+        _validate_chunk(assignment, chunk.num_cloudlets, m, offset)
+
+        with _TEL.span("sim.execute"):
+            exec_chunk = chunk.cloudlet_length / chunk.vm_mips[assignment]
+            if collect:
+                # Chunk-local FIFO prefix sums, shifted by each VM's
+                # accumulated backlog from previous chunks of this shard.
+                start, finish = grouped_fifo_times(assignment, exec_chunk, m)
+                carried = backlog[assignment]
+                parts["assignment"].append(np.asarray(assignment, dtype=np.int64))
+                parts["start"].append(start + carried)
+                parts["finish"].append(finish + carried)
+                parts["costs"].append(_chunk_costs(chunk, assignment))
+            # np.add.at is unbuffered and strictly index-ordered, so the
+            # per-VM sums are identical no matter how the batch is
+            # chunked — this is what makes every bounded metric
+            # chunk-size-invariant bit-for-bit.
+            np.add.at(backlog, assignment, exec_chunk)
+            cost_chunk = parts["costs"][-1] if collect else _chunk_costs(chunk, assignment)
+            np.add.at(vm_costs, assignment, cost_chunk)
+            counts += np.bincount(assignment, minlength=m)
+            exec_min = min(exec_min, float(exec_chunk.min()))
+            exec_max = max(exec_max, float(exec_chunk.max()))
+
+    return ShardOutcome(
+        shard_index=plan.index,
+        num_chunks=num_chunks,
+        scheduling_time=scheduling_time,
+        backlog=backlog,
+        vm_costs=vm_costs,
+        counts=counts,
+        exec_min=exec_min,
+        exec_max=exec_max,
+        peak_rss_bytes=peak_rss_bytes(),
+        assigner_info=assigner.info(),
+        collected=(
+            {name: np.concatenate(chunks) for name, chunks in parts.items()}
+            if collect
+            else None
+        ),
+    )
+
+
+def _execute_shard_task(payload: tuple) -> "tuple[ShardOutcome, dict | None]":
+    """Pool-worker wrapper: run one shard, ship its telemetry snapshot.
+
+    Workers never set ``stream.*`` gauges — gauge merging is last-wins,
+    so a worker-side gauge would clobber the parent's aggregate view.
+    Instead the chunk count and peak RSS travel in the
+    :class:`ShardOutcome` and the parent publishes them once.
+    """
+    stream, scheduler, seed, plan, carry, collect, with_telemetry = payload
+    _TEL.reset()
+    if with_telemetry:
+        _TEL.enable()
+    else:
+        _TEL.disable()
+    outcome = execute_shard(stream, scheduler, seed, plan, carry, collect)
+    snap = _TEL.snapshot().to_dict() if with_telemetry else None
+    return outcome, snap
+
+
+_SHARD_POOL: "ProcessPoolExecutor | None" = None
+_SHARD_POOL_SIZE = 0
+
+
+def _shard_pool(workers: int) -> ProcessPoolExecutor:
+    """Persistent spawn pool shared by all sharded runs in this process.
+
+    Spawn-based workers cost ~100 ms each to boot; reusing one pool across
+    the points of a sweep amortises that to once per process.  The pool
+    grows (is recreated) when a run asks for more workers than it has.
+    """
+    global _SHARD_POOL, _SHARD_POOL_SIZE
+    if _SHARD_POOL is None or _SHARD_POOL_SIZE < workers:
+        if _SHARD_POOL is not None:
+            _SHARD_POOL.shutdown()
+        _SHARD_POOL = ProcessPoolExecutor(
+            max_workers=workers, mp_context=multiprocessing.get_context("spawn")
+        )
+        _SHARD_POOL_SIZE = workers
+    return _SHARD_POOL
+
+
+def shutdown_shard_pool() -> None:
+    """Tear down the persistent shard pool (tests and long-lived hosts)."""
+    global _SHARD_POOL, _SHARD_POOL_SIZE
+    if _SHARD_POOL is not None:
+        _SHARD_POOL.shutdown()
+        _SHARD_POOL = None
+        _SHARD_POOL_SIZE = 0
+
+
 class StreamingSimulation:
     """Memory-bounded analytic execution over a chunked scenario.
 
@@ -270,6 +478,16 @@ class StreamingSimulation:
     peaks at O(num_vms + chunk_size) memory.  Restricted to single-PE
     fleets (the paper's setting) — the closed form per VM is then a plain
     running sum.
+
+    The run is structured plan → execute → merge: a shard planner splits
+    the chunk range (:func:`~repro.workloads.streaming.plan_shards`), the
+    scheduler provides carried-in state per shard boundary
+    (:meth:`~repro.schedulers.streaming.StreamingScheduler.plan_carries`),
+    each shard folds its chunks independently (:func:`execute_shard` —
+    in spawn-pool workers, or inline with ``shard_parallel=False``), and
+    the parent merges the per-VM partial sums.  ``shards=None`` or ``1``
+    runs the single degenerate shard in-process: the historical serial
+    path.
 
     Determinism contract: the execution fold accumulates with
     ``np.add.at`` (unbuffered, strictly index-ordered), so every bounded
@@ -281,7 +499,10 @@ class StreamingSimulation:
     MIPS, integer lengths, dyadic cost constants); elsewhere
     ``total_cost`` can differ from the in-memory pairwise sum by
     float reassociation ulps (see docs/performance.md, "When streaming
-    is bit-safe").
+    is bit-safe").  Sharding keeps assignments bit-identical for every
+    shard count unconditionally; the merged accumulator metrics are
+    bit-identical on the same exactly-representable domains where
+    chunking is (shard merging reassociates the same sums).
 
     Parameters
     ----------
@@ -302,6 +523,13 @@ class StreamingSimulation:
         start/finish/cost arrays and returns a full
         :class:`~repro.cloud.simulation.SimulationResult` — O(n) memory,
         used by the differential tests.
+    shards:
+        ``None`` or ``1``: serial.  ``N >= 2``: split into at most ``N``
+        chunk-aligned shards executed data-parallel and merged exactly.
+    shard_parallel:
+        ``True`` (default) executes shards in the persistent spawn pool;
+        ``False`` runs the same shard math sequentially in-process —
+        identical results, no processes (tests, profiling).
     """
 
     def __init__(
@@ -310,17 +538,24 @@ class StreamingSimulation:
         scheduler: "Scheduler | StreamingScheduler",
         seed: int | None = 0,
         collect: bool = False,
+        shards: int | None = None,
+        shard_parallel: bool = True,
     ) -> None:
         from repro.schedulers.streaming import as_streaming
 
+        if shards is not None and shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.stream = stream
         self.scheduler = as_streaming(scheduler)
         self.seed = seed
         self.collect = collect
+        self.shards = shards
+        self.shard_parallel = shard_parallel
 
     def run(self) -> "SimulationResult | StreamingResult":
+        from repro.workloads.streaming import ShardPlan, plan_shards
+
         stream = self.stream
-        m = stream.num_vms
         n = stream.num_cloudlets
         if not (stream.vm_pes == 1).all():
             raise ValueError(
@@ -329,55 +564,140 @@ class StreamingSimulation:
             )
 
         telemetry_before = _TEL.snapshot() if _TEL.enabled else None
-        rng = spawn_rng(self.seed, f"scheduler/{stream.name}")
 
-        t0 = time.perf_counter()
-        with _TEL.span("sim.schedule"):
-            assigner = self.scheduler.open(stream, rng)
-        scheduling_time = time.perf_counter() - t0
+        # -- plan ------------------------------------------------------------
+        shards = self.shards if self.shards is not None else 1
+        plan_time = 0.0
+        if shards <= 1:
+            plans: "tuple[ShardPlan, ...]" = (
+                ShardPlan(
+                    index=0, num_shards=1, chunk_start=0,
+                    chunk_stop=stream.num_chunks, start=0, stop=n,
+                ),
+            )
+            carries: "list[dict[str, Any] | None]" = [None]
+        else:
+            rng = spawn_rng(self.seed, f"scheduler/{stream.name}")
+            t0 = time.perf_counter()
+            with _TEL.span("sim.schedule"):
+                plans = plan_shards(stream, shards)
+                carries = self.scheduler.plan_carries(stream, rng, plans)
+            plan_time = time.perf_counter() - t0
+            if len(carries) != len(plans):
+                raise RuntimeError(
+                    f"{type(self.scheduler).__name__}.plan_carries returned "
+                    f"{len(carries)} carries for {len(plans)} plans"
+                )
+
+        # -- execute ---------------------------------------------------------
+        outcomes: list[ShardOutcome] = []
+        if len(plans) > 1 and self.shard_parallel:
+            with_telemetry = _TEL.enabled
+            pool = _shard_pool(len(plans))
+            futures = [
+                pool.submit(
+                    _execute_shard_task,
+                    (stream, self.scheduler, self.seed, plan, carry,
+                     self.collect, with_telemetry),
+                )
+                for plan, carry in zip(plans, carries)
+            ]
+            for future in futures:
+                outcome, snap = future.result()
+                if snap is not None:
+                    _TEL.merge_snapshot(TelemetrySnapshot.from_dict(snap))
+                outcomes.append(outcome)
+        else:
+            for plan, carry in zip(plans, carries):
+                outcomes.append(
+                    execute_shard(
+                        stream, self.scheduler, self.seed, plan, carry, self.collect
+                    )
+                )
+
+        # -- merge -----------------------------------------------------------
+        return self._merge(stream, plans, outcomes, plan_time, telemetry_before)
+
+    def _merge(
+        self,
+        stream: "ScenarioChunks",
+        plans,
+        outcomes: list[ShardOutcome],
+        plan_time: float,
+        telemetry_before,
+    ) -> "SimulationResult | StreamingResult":
+        m = stream.num_vms
+        n = stream.num_cloudlets
 
         backlog = np.zeros(m)
         vm_costs = np.zeros(m)
+        counts = np.zeros(m, dtype=np.int64)
         exec_min, exec_max = np.inf, -np.inf
         num_chunks = 0
+        scheduling_time = plan_time
         collected: dict[str, list[np.ndarray]] = (
-            {k: [] for k in ("assignment", "start", "finish", "exec", "costs")}
+            {k: [] for k in ("assignment", "start", "finish", "costs")}
             if self.collect
             else {}
         )
 
-        for offset, chunk in stream:
-            num_chunks += 1
-            t0 = time.perf_counter()
-            with _TEL.span("sim.schedule"):
-                assignment = assigner.assign(chunk, offset)
-            scheduling_time += time.perf_counter() - t0
-            self._validate_chunk(assignment, chunk.num_cloudlets, m, offset)
+        for outcome in outcomes:
+            if self.collect:
+                parts = outcome.collected
+                assignment = parts["assignment"]
+                if outcome.shard_index == 0:
+                    # No earlier shards: the local times are absolute, and
+                    # skipping the += keeps the serial path byte-identical.
+                    start, finish = parts["start"], parts["finish"]
+                else:
+                    shift = backlog[assignment]
+                    start = parts["start"] + shift
+                    finish = parts["finish"] + shift
+                collected["assignment"].append(assignment)
+                collected["start"].append(start)
+                collected["finish"].append(finish)
+                collected["costs"].append(parts["costs"])
+            backlog += outcome.backlog
+            vm_costs += outcome.vm_costs
+            counts += outcome.counts
+            exec_min = min(exec_min, outcome.exec_min)
+            exec_max = max(exec_max, outcome.exec_max)
+            num_chunks += outcome.num_chunks
+            scheduling_time += outcome.scheduling_time
 
-            with _TEL.span("sim.execute"):
-                exec_chunk = chunk.cloudlet_length / chunk.vm_mips[assignment]
-                if self.collect:
-                    # Chunk-local FIFO prefix sums, shifted by each VM's
-                    # accumulated backlog from previous chunks.
-                    start, finish = grouped_fifo_times(assignment, exec_chunk, m)
-                    carried = backlog[assignment]
-                    collected["assignment"].append(np.asarray(assignment, dtype=np.int64))
-                    collected["start"].append(start + carried)
-                    collected["finish"].append(finish + carried)
-                    collected["exec"].append(exec_chunk)
-                # np.add.at is unbuffered and strictly index-ordered, so the
-                # per-VM sums are identical no matter how the batch is
-                # chunked — this is what makes every bounded metric
-                # chunk-size-invariant bit-for-bit.
-                np.add.at(backlog, assignment, exec_chunk)
-                cost_chunk = _chunk_costs(chunk, assignment)
-                if self.collect:
-                    collected["costs"].append(cost_chunk)
-                np.add.at(vm_costs, assignment, cost_chunk)
-                exec_min = min(exec_min, float(exec_chunk.min()))
-                exec_max = max(exec_max, float(exec_chunk.max()))
+        if len(outcomes) > 1 and not self.collect:
+            from repro.workloads.streaming import ConstantCloudlets
 
-        peak_rss = peak_rss_bytes()
+            if isinstance(stream.cloudlets, ConstantCloudlets):
+                # Constant workloads: each VM's serial fold is a repeated
+                # addition of one per-VM constant, so rebuilding it from the
+                # exactly-merged integer counts makes the sharded accumulators
+                # bit-identical to serial even off the dyadic domain (the
+                # partial-sum merge above reassociates by shard boundary).
+                src = stream.cloudlets
+                dc = stream.vm_datacenter
+                exec_const = np.full(m, src.length, dtype=float) / stream.vm_mips
+                cost_const = processing_cost(
+                    lengths=np.full(m, src.length, dtype=float),
+                    vm_mips=stream.vm_mips,
+                    vm_ram=stream.vm_ram,
+                    vm_size=stream.vm_size,
+                    file_sizes=np.full(m, src.file_size, dtype=float),
+                    output_sizes=np.full(m, src.output_size, dtype=float),
+                    cost_per_cpu=stream.dc_cost_per_cpu[dc],
+                    cost_per_mem=stream.dc_cost_per_mem[dc],
+                    cost_per_storage=stream.dc_cost_per_storage[dc],
+                    cost_per_bw=stream.dc_cost_per_bw[dc],
+                )
+                backlog = _repeated_add_fold(exec_const, counts)
+                vm_costs = _repeated_add_fold(cost_const, counts)
+
+        # Telemetry values that must aggregate max-wise across workers:
+        # a parent-side ru_maxrss read alone would silently under-report
+        # the budget when the fold ran in pool processes.
+        peak_rss = max(
+            peak_rss_bytes(), *(outcome.peak_rss_bytes for outcome in outcomes)
+        )
         if _TEL.enabled:
             _TEL.gauge("stream.chunks", num_chunks)
             _TEL.gauge("stream.peak_rss", peak_rss)
@@ -387,6 +707,7 @@ class StreamingSimulation:
             "execution_model": "space-shared",
             "chunk_size": stream.chunk_size,
             "num_chunks": num_chunks,
+            "shards": len(plans),
             "streaming_native": self.scheduler.streaming_native,
             "peak_rss_bytes": peak_rss,
             "manifest": capture_manifest(
@@ -398,7 +719,9 @@ class StreamingSimulation:
                 chunk_size=stream.chunk_size,
                 num_chunks=num_chunks,
             ).to_dict(),
-            **assigner.info(),
+            # The last shard's assigner ends in the serial run's final
+            # state, so its diagnostics are the serial diagnostics.
+            **outcomes[-1].assigner_info,
         }
         if telemetry_before is not None:
             info["telemetry"] = _TEL.snapshot().diff(telemetry_before).to_dict()
@@ -449,29 +772,14 @@ class StreamingSimulation:
             info=info,
         )
 
-    @staticmethod
-    def _validate_chunk(assignment: np.ndarray, k: int, m: int, offset: int) -> None:
-        arr = np.asarray(assignment)
-        if arr.shape != (k,):
-            raise ValueError(
-                f"chunk at offset {offset}: assignment shape {arr.shape} != ({k},)"
-            )
-        if not np.issubdtype(arr.dtype, np.integer):
-            raise ValueError(
-                f"chunk at offset {offset}: assignment must be integral, "
-                f"got dtype {arr.dtype}"
-            )
-        if arr.size and (arr.min() < 0 or arr.max() >= m):
-            raise ValueError(
-                f"chunk at offset {offset}: assignment values must be in [0, {m})"
-            )
-
-
 __all__ = [
     "FastSimulation",
+    "ShardOutcome",
     "StreamingSimulation",
     "StreamingResult",
+    "execute_shard",
     "grouped_fifo_times",
     "multi_pe_fifo_times",
     "peak_rss_bytes",
+    "shutdown_shard_pool",
 ]

@@ -7,6 +7,7 @@ Examples
     python -m repro.experiments fig6a --preset quick
     python -m repro.experiments all --preset scaled --out results/ -v
     python -m repro.experiments fig4a --stream --chunk-size 65536 -v
+    python -m repro.experiments fig4a --stream --shards auto
     python -m repro.experiments fig6a --telemetry --out results/
     python -m repro.experiments fig6b --cache-dir .repro-cache
     python -m repro.experiments cache stats --cache-dir .repro-cache
@@ -163,6 +164,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "cloudlets per streaming chunk (default 65536); metric values "
             "are chunk-size-invariant, only peak memory changes"
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        default=None,
+        help=(
+            "data-parallel shard count for --stream points ('auto' = cpu "
+            "count); results are shard-count-invariant, so cached serial "
+            "entries still hit"
         ),
     )
     parser.add_argument(
@@ -413,6 +423,25 @@ def run_report(args) -> int:
     return 0
 
 
+def _parse_shards(value, stream: bool) -> int | None:
+    """Resolve --shards: None passes through, 'auto' = cpu count, else int."""
+    if value is None:
+        return None
+    if not stream:
+        raise SystemExit("--shards requires --stream")
+    if str(value).lower() == "auto":
+        import os
+
+        return os.cpu_count() or 1
+    try:
+        shards = int(value)
+    except ValueError:
+        raise SystemExit(f"--shards expects an integer or 'auto', got {value!r}")
+    if shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {shards}")
+    return shards
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.target == "compare":
@@ -445,6 +474,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiment(s) {unknown}; try 'list'", file=sys.stderr)
         return 2
 
+    shards = _parse_shards(args.shards, args.stream)
+
     cache = None
     if args.cache_dir is not None and not args.no_cache:
         from repro.cache import ResultCache
@@ -476,6 +507,7 @@ def main(argv: list[str] | None = None) -> int:
                     cache=cache,
                     stream=args.stream,
                     chunk_size=args.chunk_size,
+                    shards=shards,
                 )
             except ValueError as exc:
                 if not args.stream:

@@ -310,6 +310,7 @@ def run_experiment(
     cache=None,
     stream: bool = False,
     chunk_size: int | None = None,
+    shards: int | None = None,
 ) -> FigureData:
     """Execute one paper figure's sweep and aggregate it.
 
@@ -326,7 +327,9 @@ def run_experiment(
     declared on the ``"fast"`` engine stream — the DES figures model
     per-event dynamics the fold cannot reproduce and raise
     ``ValueError``.  ``chunk_size`` sets the cloudlets-per-chunk
-    granularity (metric values do not depend on it).
+    granularity (metric values do not depend on it).  ``shards`` splits
+    each streaming point into data-parallel shards merged exactly
+    (``stream=True`` only; results are shard-count-invariant).
     """
     definition = get_experiment(experiment_id)
     config = definition.config(preset)
@@ -339,6 +342,8 @@ def run_experiment(
                 "fast-path figures (fig4a-fig5b)"
             )
         engine = "stream"
+    if shards is not None and not stream:
+        raise ValueError("shards= requires stream=True")
     records = run_sweep(
         scenario_factory=definition.scenario_factory(
             chunked=stream, chunk_size=chunk_size
@@ -352,6 +357,7 @@ def run_experiment(
         workers=workers,
         cache=cache,
         chunk_size=chunk_size,
+        shards=shards,
     )
     return aggregate(definition, records, list(config.vm_counts))
 

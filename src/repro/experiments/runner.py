@@ -118,6 +118,7 @@ def run_point(
     engine: Engine = "des",
     cache: "ResultCache | str | None" = None,
     chunk_size: int | None = None,
+    shards: int | None = None,
     timeline: "Timeline | None" = None,
     control: "ControlConfig | None" = None,
     standby_vms: int = 0,
@@ -141,6 +142,14 @@ def run_point(
     count, participates in the cache key.  Other engines ignore
     ``chunk_size`` and materialise a chunked scenario via ``to_spec()``.
 
+    ``shards=N`` (streaming engine only; other engines reject it) splits
+    the stream into at most ``N`` chunk-aligned shards executed
+    data-parallel and merged exactly (see
+    :class:`~repro.cloud.fast.StreamingSimulation`).  The shard count is
+    deliberately *not* part of the cache key — outputs are
+    shard-count-invariant, so a warm entry written by a serial run
+    satisfies a ``shards=N`` request and vice versa.
+
     ``engine="online"`` runs :class:`~repro.cloud.online.OnlineCloudSimulation`
     — ``scheduler`` must then be an
     :class:`~repro.schedulers.online.OnlineScheduler`.  ``timeline``
@@ -161,6 +170,8 @@ def run_point(
             "timeline=/control=/standby_vms= require engine='online', "
             f"got engine={engine!r}"
         )
+    if shards is not None and engine != "stream":
+        raise ValueError(f"shards= requires engine='stream', got engine={engine!r}")
     cache = ResultCache.coerce(cache)
     key = manifest = None
     if cache is not None:
@@ -178,7 +189,7 @@ def run_point(
     elif engine == "fast":
         result = FastSimulation(scenario, scheduler, seed=seed).run()
     elif engine == "stream":
-        result = StreamingSimulation(scenario, scheduler, seed=seed).run()
+        result = StreamingSimulation(scenario, scheduler, seed=seed, shards=shards).run()
     elif engine == "online":
         from repro.cloud.online import OnlineCloudSimulation
 
@@ -227,6 +238,7 @@ def _run_cell(
     engine: Engine,
     cache: "ResultCache | None" = None,
     chunk_size: int | None = None,
+    shards: int | None = None,
     timeline: "Timeline | None" = None,
     control: "ControlConfig | None" = None,
 ) -> list[SweepRecord]:
@@ -251,6 +263,7 @@ def _run_cell(
             engine=engine,
             cache=cache,
             chunk_size=chunk_size,
+            shards=shards,
             timeline=timeline,
             control=control,
         )
@@ -272,6 +285,7 @@ def _run_cell_cache_misses(
     engine: Engine,
     cache_root: str,
     chunk_size: int | None = None,
+    shards: int | None = None,
     timeline: "Timeline | None" = None,
     control: "ControlConfig | None" = None,
 ) -> list[SweepRecord]:
@@ -295,7 +309,7 @@ def _run_cell_cache_misses(
         )
         result = run_point(
             scenario, scheduler, seed=seed, engine=engine, chunk_size=chunk_size,
-            timeline=timeline, control=control,
+            shards=shards, timeline=timeline, control=control,
         )
         cache.put(manifest.fingerprint(), result, manifest)
         record = SweepRecord.from_result(result, num_vms, num_cloudlets, seed)
@@ -333,6 +347,7 @@ def run_sweep(
     workers: int | None = None,
     cache: "ResultCache | str | None" = None,
     chunk_size: int | None = None,
+    shards: int | None = None,
     timeline: "Timeline | None" = None,
     control: "ControlConfig | None" = None,
 ) -> list[SweepRecord]:
@@ -371,6 +386,12 @@ def run_sweep(
         Streaming chunk size, forwarded to the ``"stream"`` engine (other
         engines ignore it).  Streaming metrics are chunk-size-invariant,
         but the chunk geometry is part of the cache key.
+    shards:
+        Streaming shard count, forwarded to every cell's
+        :func:`run_point` (streaming engine only).  Results are
+        shard-count-invariant, so ``shards`` never enters the cache key.
+        Combine with ``workers`` carefully: each sweep worker would spawn
+        its own shard pool, oversubscribing small hosts.
     timeline, control:
         Dynamic-scenario surface for ``engine="online"`` (see
         :func:`run_point`); both are frozen dataclasses, so they ship to
@@ -410,6 +431,7 @@ def run_sweep(
                     engine,
                     cache,
                     chunk_size,
+                    shards,
                     timeline,
                     control,
                 )
@@ -451,6 +473,7 @@ def run_sweep(
                     engine,
                     None,
                     chunk_size,
+                    shards,
                     timeline,
                     control,
                 )
@@ -498,6 +521,7 @@ def run_sweep(
                     engine,
                     str(cache.root),
                     chunk_size,
+                    shards,
                     timeline,
                     control,
                 )

@@ -33,6 +33,95 @@ from repro.obs.telemetry import TELEMETRY as _TEL
 from repro.schedulers.base import Scheduler, SchedulingContext, SchedulingResult
 
 
+class BiasedWalk:
+    """Vectorised Algorithm-3 walk, bit-identical to the per-item loop.
+
+    The scalar walk has closed structure the vector form exploits:
+
+    * ``omega - g`` is invariant along a walk (both increment per hop), so
+      the execution test ``omega > g`` either holds from the start — the
+      walk is a cyclic scan from the start group for the first group with
+      capacity — or it cannot hold until ``g`` wraps to 0, after which
+      ``omega - g >= 1`` forever, so the walk is ``q - g0`` forced hops
+      followed by a cyclic scan from group 0.
+    * Between capacity events the scan target is a pure lookup of the
+      start group (first open group cyclically at-or-after it), so whole
+      runs of cloudlets resolve with one table indexing; the table is
+      only rebuilt when a group depletes or the round replenishes.
+
+    State (per-group NID, free total, cyclic cursors, hop count) persists
+    across :meth:`walk` calls, so chunked walks concatenate to the
+    monolithic walk exactly — the batch scheduler and the streaming
+    assigner share this one implementation.
+    """
+
+    def __init__(self, groups: "list[np.ndarray]") -> None:
+        self.groups = [np.asarray(g, dtype=np.int64) for g in groups]
+        self.q = len(self.groups)
+        self.sizes = np.array([g.size for g in self.groups], dtype=np.int64)
+        self.total = int(self.sizes.sum())
+        self.nid = self.sizes.copy()
+        self.free_total = self.total
+        self.cursor = np.zeros(self.q, dtype=np.int64)
+        self.walks_total = 0
+
+    def _first_open_lut(self) -> np.ndarray:
+        """``lut[s]`` = first group with capacity cyclically at-or-after ``s``."""
+        open_idx = np.flatnonzero(self.nid > 0)
+        pos = np.searchsorted(open_idx, np.arange(self.q))
+        return open_idx[np.where(pos < open_idx.size, pos, 0)]
+
+    def walk(self, omegas: np.ndarray, starts: np.ndarray) -> tuple[np.ndarray, int]:
+        """Assign one slice of cloudlets; returns ``(vm_indices, hops)``."""
+        omegas = np.asarray(omegas, dtype=np.int64)
+        starts = np.asarray(starts, dtype=np.int64)
+        k = omegas.shape[0]
+        out = np.empty(k, dtype=np.int64)
+        if k == 0:
+            return out, 0
+        q, nid, sizes = self.q, self.nid, self.sizes
+        wrapped = omegas <= starts
+        s = np.where(wrapped, 0, starts)
+        hops = int(np.where(wrapped, q - starts, 0).sum())
+        choice = np.empty(k, dtype=np.int64)
+        free_total = self.free_total
+        i = 0
+        while i < k:
+            if free_total == 0:
+                nid[:] = sizes
+                free_total = self.total
+            lut = self._first_open_lut()
+            j = min(k, i + free_total)
+            cand = lut[s[i:j]]
+            counts = np.bincount(cand, minlength=q)
+            accept = j - i
+            # A group can deplete mid-segment, invalidating the table for
+            # later items; truncate at the earliest depleting assignment.
+            for g in np.flatnonzero((nid > 0) & (counts >= nid)):
+                t = int(np.flatnonzero(cand == g)[nid[g] - 1])
+                accept = min(accept, t + 1)
+            acc = cand[:accept]
+            choice[i : i + accept] = acc
+            if accept != j - i:
+                counts = np.bincount(acc, minlength=q)
+            nid -= counts
+            free_total -= accept
+            hops += int(((acc - s[i : i + accept]) % q).sum())
+            i += accept
+        # Step 6: inside a group the VMs are used cyclically.
+        for g in range(q):
+            idx = np.flatnonzero(choice == g)
+            if idx.size == 0:
+                continue
+            size = int(sizes[g])
+            start = int(self.cursor[g])
+            out[idx] = self.groups[g][(start + np.arange(idx.size)) % size]
+            self.cursor[g] = (start + idx.size) % size
+        self.free_total = free_total
+        self.walks_total += hops
+        return out, hops
+
+
 class RandomBiasedSamplingScheduler(Scheduler):
     """RBS cloudlet scheduler.
 
@@ -60,45 +149,16 @@ class RandomBiasedSamplingScheduler(Scheduler):
         q = min(q, m)
 
         # Step 1-2: split VMs into q groups with thresholds 1..q and
-        # NID = group size.  The walk loop runs on plain Python lists —
-        # per-element numpy scalar access would dominate the runtime.
-        groups = [chunk.tolist() for chunk in np.array_split(np.arange(m), q) if chunk.size]
+        # NID = group size.  Steps 3-7 run through the shared vectorised
+        # walk (identical hop-for-hop to the per-cloudlet loop).
+        groups = [chunk for chunk in np.array_split(np.arange(m), q) if chunk.size]
         q = len(groups)
-        group_sizes = [len(g) for g in groups]
-        nid = list(group_sizes)
-        free_total = sum(group_sizes)
-        cursor = [0] * q  # cyclic per-group VM pointer
+        state = BiasedWalk(groups)
 
-        assignment = np.empty(n, dtype=np.int64)
-        walks_total = 0
-
-        # Steps 3-7 per cloudlet.
-        omegas = rng.integers(1, q + 1, size=n).tolist()
-        starts = rng.integers(0, q, size=n).tolist()
+        omegas = rng.integers(1, q + 1, size=n)
+        starts = rng.integers(0, q, size=n)
         with _TEL.span("rbs.walk"):
-            for i in range(n):
-                omega = omegas[i]
-                g = starts[i]
-                # Walk until the execution test passes on a group with capacity.
-                # The threshold of group g is g+1; after at most q hops omega
-                # exceeds every threshold, so only capacity forces further hops,
-                # and NIDs replenish when the whole fleet is drained.
-                if free_total == 0:
-                    nid = list(group_sizes)
-                    free_total = sum(group_sizes)
-                while not (omega > g and nid[g] > 0):  # omega >= threshold == g+1
-                    omega += 1
-                    g += 1
-                    if g == q:
-                        g = 0
-                    walks_total += 1
-                members = groups[g]
-                c = cursor[g]
-                vm_idx = members[c]
-                cursor[g] = c + 1 if c + 1 < len(members) else 0
-                nid[g] -= 1
-                free_total -= 1
-                assignment[i] = vm_idx
+            assignment, walks_total = state.walk(omegas, starts)
         if _TEL.enabled:
             _TEL.count("rbs.walk_hops", walks_total)
 
@@ -112,4 +172,4 @@ class RandomBiasedSamplingScheduler(Scheduler):
         )
 
 
-__all__ = ["RandomBiasedSamplingScheduler"]
+__all__ = ["BiasedWalk", "RandomBiasedSamplingScheduler"]

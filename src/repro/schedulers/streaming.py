@@ -73,6 +73,20 @@ class ChunkAssigner(abc.ABC):
         """Diagnostics mirroring ``SchedulingResult.info`` (after the run)."""
         return {}
 
+    def carry_out(self) -> "dict[str, Any] | None":
+        """Snapshot of the cross-chunk state at the current position.
+
+        Feeding the snapshot back through ``open(stream, rng, carry=...)``
+        resumes assignment exactly where this assigner stands — the hook
+        the shard planner uses to make a shard boundary semantically
+        identical to a chunk boundary.  ``None`` means "no state needed"
+        (offset-pure assigners).  Assigners that cannot be resumed raise.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support carried state; "
+            "its scheduler must override plan_carries() to shard"
+        )
+
 
 class StreamingScheduler(abc.ABC):
     """A scheduling policy that admits cloudlets chunk by chunk."""
@@ -86,8 +100,42 @@ class StreamingScheduler(abc.ABC):
         """Registry name — identical to the in-memory counterpart's."""
 
     @abc.abstractmethod
-    def open(self, stream: ScenarioChunks, rng: np.random.Generator) -> ChunkAssigner:
-        """Create fresh per-run state (may pre-scan the re-iterable stream)."""
+    def open(
+        self,
+        stream: ScenarioChunks,
+        rng: np.random.Generator,
+        carry: "dict[str, Any] | None" = None,
+    ) -> ChunkAssigner:
+        """Create per-run state (may pre-scan the re-iterable stream).
+
+        ``carry=None`` starts from scratch (the serial path).  A carry
+        produced by :meth:`plan_carries` / :meth:`ChunkAssigner.carry_out`
+        starts mid-stream instead, with the accumulator state a serial run
+        would have at that point — assignments from the carried position
+        onward are then bit-identical to the serial run's.
+        """
+
+    def plan_carries(
+        self, stream: ScenarioChunks, rng: np.random.Generator, plans
+    ) -> "list[dict[str, Any] | None]":
+        """One carried-in state per :class:`~repro.workloads.streaming.ShardPlan`.
+
+        Generic fallback: replay the serial assignment pass in the caller
+        and snapshot ``carry_out()`` at every shard boundary — exact for
+        any scheduler whose assigner supports ``carry_out``, at the cost
+        of scheduling serially (the execution fold still parallelises).
+        Offset-pure and precomputing schedulers override this with O(1)
+        or slicing plans.
+        """
+        assigner = self.open(stream, rng)
+        carries: "list[dict[str, Any] | None]" = []
+        for i, plan in enumerate(plans):
+            carries.append(assigner.carry_out())
+            if i == len(plans) - 1:
+                break
+            for offset, chunk in stream.iter_range(plan.chunk_start, plan.chunk_stop):
+                assigner.assign(chunk, offset)
+        return carries
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} name={self.name!r}>"
@@ -108,7 +156,12 @@ class StreamingRoundRobin(StreamingScheduler):
     def name(self) -> str:
         return "basetest"
 
-    def open(self, stream: ScenarioChunks, rng: np.random.Generator) -> ChunkAssigner:
+    def open(
+        self,
+        stream: ScenarioChunks,
+        rng: np.random.Generator,
+        carry: "dict[str, Any] | None" = None,
+    ) -> ChunkAssigner:
         m = stream.num_vms
         start = self.start_offset
 
@@ -117,10 +170,30 @@ class StreamingRoundRobin(StreamingScheduler):
                 k = chunk.num_cloudlets
                 return (np.arange(offset, offset + k, dtype=np.int64) + start) % m
 
+            def carry_out(self) -> None:
+                return None  # offset-pure: any chunk is computable in isolation
+
         return Assigner()
+
+    def plan_carries(
+        self, stream: ScenarioChunks, rng: np.random.Generator, plans
+    ) -> "list[dict[str, Any] | None]":
+        return [None] * len(plans)
 
 
 # -- greedy MCT -------------------------------------------------------------
+
+
+def _sequential_repeated_add(step: float, times: int) -> float:
+    """``times`` left-to-right additions of ``step`` onto 0.0.
+
+    Matches a per-item accumulator (``r += step`` in a loop) bit-for-bit:
+    ``np.add.accumulate`` folds strictly sequentially, unlike ``np.sum``'s
+    pairwise reduction.
+    """
+    if times <= 0:
+        return 0.0
+    return float(np.add.accumulate(np.full(times, step))[-1])
 
 
 class StreamingGreedy(StreamingScheduler):
@@ -132,20 +205,76 @@ class StreamingGreedy(StreamingScheduler):
     use a heap of ``(ready, vm)`` pairs: with a constant execution time the
     argmin over ``ready + c`` is the lexicographically smallest pair, so
     the heap is exact while dropping the O(n·m) scan to O(n log m).
+    Uniform fleets with *constant* cloudlet lengths collapse further: the
+    heap starts as ``[(0.0, 0), ..., (0.0, m-1)]`` and every push adds the
+    same increment, so pops cycle ``0, 1, ..., m-1`` forever and cloudlet
+    ``i`` lands on VM ``i % m`` — a pure-numpy, offset-pure expression.
+
+    Sharding: the cyclic fast path needs no carry; the heap and general
+    paths carry the literal heap list / ``ready`` vector, reproduced at
+    each shard boundary by the generic serial pre-pass in
+    :meth:`StreamingScheduler.plan_carries`.
     """
 
     @property
     def name(self) -> str:
         return "greedy-mct"
 
-    def open(self, stream: ScenarioChunks, rng: np.random.Generator) -> ChunkAssigner:
+    @staticmethod
+    def _cyclic(stream: ScenarioChunks) -> bool:
+        from repro.workloads.streaming import ConstantCloudlets
+
+        uniform = (
+            float(np.ptp(stream.vm_mips)) == 0.0
+            and float(np.ptp(stream.vm_pes)) == 0.0
+        )
+        return uniform and isinstance(stream.cloudlets, ConstantCloudlets)
+
+    def open(
+        self,
+        stream: ScenarioChunks,
+        rng: np.random.Generator,
+        carry: "dict[str, Any] | None" = None,
+    ) -> ChunkAssigner:
         m = stream.num_vms
         inv_capacity = 1.0 / (stream.vm_mips * stream.vm_pes)
         uniform = float(np.ptp(stream.vm_mips)) == 0.0 and float(np.ptp(stream.vm_pes)) == 0.0
 
+        if self._cyclic(stream):
+            inv = float(inv_capacity[0])
+            # One heap increment, computed with the exact expression the
+            # heap path uses (length * inv) so the info diagnostics agree.
+            step = float(stream.cloudlets.length * inv)
+
+            class Assigner(ChunkAssigner):
+                def __init__(self) -> None:
+                    self._end = 0
+
+                def assign(self, chunk: ScenarioArrays, offset: int) -> np.ndarray:
+                    k = chunk.num_cloudlets
+                    self._end = max(self._end, offset + k)
+                    return np.arange(offset, offset + k, dtype=np.int64) % m
+
+                def info(self) -> dict[str, Any]:
+                    # VM 0 is first served each cycle, so it holds the max
+                    # backlog: ceil(end / m) sequential heap increments.
+                    return {
+                        "estimated_makespan": _sequential_repeated_add(
+                            step, -(-self._end // m)
+                        )
+                    }
+
+                def carry_out(self) -> None:
+                    return None  # offset-pure
+
+            return Assigner()
+
         if uniform:
             inv = float(inv_capacity[0])
-            heap = [(0.0, vm) for vm in range(m)]
+            if carry is None:
+                heap = [(0.0, vm) for vm in range(m)]
+            else:
+                heap = [(float(r), int(vm)) for r, vm in carry["heap"]]
 
             class Assigner(ChunkAssigner):
                 def assign(self, chunk: ScenarioArrays, offset: int) -> np.ndarray:
@@ -160,9 +289,17 @@ class StreamingGreedy(StreamingScheduler):
                 def info(self) -> dict[str, Any]:
                     return {"estimated_makespan": float(max(r for r, _ in heap))}
 
+                def carry_out(self) -> dict[str, Any]:
+                    # The literal list order matters to heapq, so carry it
+                    # verbatim, not as a sorted multiset.
+                    return {"heap": [(float(r), int(vm)) for r, vm in heap]}
+
             return Assigner()
 
-        ready = np.zeros(m)
+        if carry is None:
+            ready = np.zeros(m)
+        else:
+            ready = np.array(carry["ready"], dtype=float, copy=True)
 
         class Assigner(ChunkAssigner):
             def assign(self, chunk: ScenarioArrays, offset: int) -> np.ndarray:
@@ -178,24 +315,62 @@ class StreamingGreedy(StreamingScheduler):
             def info(self) -> dict[str, Any]:
                 return {"estimated_makespan": float(ready.max())}
 
+            def carry_out(self) -> dict[str, Any]:
+                return {"ready": ready.copy()}
+
         return Assigner()
+
+    def plan_carries(
+        self, stream: ScenarioChunks, rng: np.random.Generator, plans
+    ) -> "list[dict[str, Any] | None]":
+        if self._cyclic(stream):
+            return [None] * len(plans)
+        return super().plan_carries(stream, rng, plans)
 
 
 # -- HBO --------------------------------------------------------------------
 
 
 class _PrecomputedAssigner(ChunkAssigner):
-    """Serves index-ordered slices of a fully precomputed assignment."""
+    """Serves index-ordered slices of a fully precomputed assignment.
 
-    def __init__(self, assignment: np.ndarray, info: dict[str, Any]) -> None:
+    ``base`` is the absolute cloudlet offset of ``assignment[0]`` — shard
+    executors hand workers just their slice, so a worker's chunk offsets
+    are rebased into the slice here.
+    """
+
+    def __init__(
+        self, assignment: np.ndarray, info: dict[str, Any], base: int = 0
+    ) -> None:
         self.assignment = assignment
+        self.base = base
         self._info = info
 
     def assign(self, chunk: ScenarioArrays, offset: int) -> np.ndarray:
-        return self.assignment[offset : offset + chunk.num_cloudlets]
+        lo = offset - self.base
+        return self.assignment[lo : lo + chunk.num_cloudlets]
 
     def info(self) -> dict[str, Any]:
         return dict(self._info)
+
+
+def _sliced_carries(
+    assignment: np.ndarray, info: dict[str, Any], plans
+) -> "list[dict[str, Any] | None]":
+    """Shard carries for precomputing schedulers: one assignment slice each."""
+    return [
+        {"assignment": assignment[plan.start : plan.stop], "base": plan.start,
+         "info": dict(info)}
+        for plan in plans
+    ]
+
+
+def _precomputed_from_carry(carry: dict[str, Any]) -> _PrecomputedAssigner:
+    return _PrecomputedAssigner(
+        np.asarray(carry["assignment"], dtype=np.int64),
+        dict(carry["info"]),
+        base=int(carry["base"]),
+    )
 
 
 class StreamingHoneyBee(StreamingScheduler):
@@ -228,13 +403,19 @@ class StreamingHoneyBee(StreamingScheduler):
     def name(self) -> str:
         return "honeybee"
 
-    def open(self, stream: ScenarioChunks, rng: np.random.Generator) -> ChunkAssigner:
+    def open(
+        self,
+        stream: ScenarioChunks,
+        rng: np.random.Generator,
+        carry: "dict[str, Any] | None" = None,
+    ) -> ChunkAssigner:
         from repro.schedulers.hbo import HoneyBeeScheduler
+        from repro.workloads.streaming import ConstantCloudlets
+
+        if carry is not None:
+            return _precomputed_from_carry(carry)
 
         n, q = stream.num_cloudlets, stream.num_datacenters
-        cloudlet_length = np.empty(n)
-        for offset, chunk in stream:
-            cloudlet_length[offset : offset + chunk.num_cloudlets] = chunk.cloudlet_length
 
         dc_vms: list[np.ndarray] = [
             np.flatnonzero(stream.vm_datacenter == dc) for dc in range(q)
@@ -252,6 +433,34 @@ class StreamingHoneyBee(StreamingScheduler):
                 )
             dc_rank = np.argsort(unit_cost, kind="stable")
 
+        cap = max(1, int(np.ceil(self.load_balance_factor * n)))
+        cyclic_dcs = all(
+            members.size == 0
+            or (
+                float(np.ptp(stream.vm_mips[members])) == 0.0
+                and float(np.ptp(stream.vm_pes[members])) == 0.0
+            )
+            for members in dc_vms
+        )
+        if isinstance(stream.cloudlets, ConstantCloudlets) and cyclic_dcs:
+            with _TEL.span("hbo.scout"):
+                assignment, assigned_per_dc, spills = self._scout_constant(
+                    stream, dc_vms, dc_rank, cap
+                )
+            return _PrecomputedAssigner(
+                assignment,
+                {
+                    "dc_unit_cost": unit_cost.tolist(),
+                    "assigned_per_dc": assigned_per_dc.tolist(),
+                    "spills": spills,
+                    "cap_per_dc": cap,
+                },
+            )
+
+        cloudlet_length = np.empty(n)
+        for offset, chunk in stream:
+            cloudlet_length[offset : offset + chunk.num_cloudlets] = chunk.cloudlet_length
+
         loads: list[np.ndarray] = [np.zeros(members.size) for members in dc_vms]
         inv_mips: list[np.ndarray] = [
             1.0 / (stream.vm_mips[members] * stream.vm_pes[members])
@@ -266,7 +475,6 @@ class StreamingHoneyBee(StreamingScheduler):
             for dc, members in enumerate(dc_vms)
         ]
 
-        cap = max(1, int(np.ceil(self.load_balance_factor * n)))
         assigned_per_dc = np.zeros(q, dtype=np.int64)
         assignment = np.full(n, -1, dtype=np.int64)
         spills = 0
@@ -308,6 +516,78 @@ class StreamingHoneyBee(StreamingScheduler):
             },
         )
 
+    @staticmethod
+    def _scout_constant(
+        stream: ScenarioChunks,
+        dc_vms: "list[np.ndarray]",
+        dc_rank: np.ndarray,
+        cap: int,
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Vectorised Algorithm-1 scout for the constant-length case.
+
+        The per-cloudlet loop has closed structure when every cloudlet is
+        identical and every datacenter's VMs are identical:
+
+        * ``_pick_datacenter`` depends only on running counts, so the
+          ``t``-th scheduled cloudlet lands on ranked datacenter
+          ``t // cap`` while under cap, then falls back to the cheapest —
+          the datacenter sequence is blockwise by construction;
+        * within a uniform datacenter the ``(backlog, pos)`` heap receives
+          equal increments, so pops cycle through positions — the ``r``-th
+          cloudlet a datacenter receives goes to VM slot ``r % size``.
+
+        Group ordering still uses the loop path's float sums (constant
+        slices), so ties and ordering match bit-for-bit.
+        """
+        n, q = stream.num_cloudlets, stream.num_datacenters
+        c = float(stream.cloudlets.length)
+
+        # Cloudlet groups: contiguous array_split ranges, ordered by the
+        # same descending float-sum key the loop path computes.
+        base, extra = divmod(n, q)
+        g_sizes = [base + 1 if g < extra else base for g in range(q)]
+        g_starts = np.zeros(q + 1, dtype=np.int64)
+        g_starts[1:] = np.cumsum(g_sizes)
+        group_order = sorted(
+            range(q),
+            key=lambda g: float(np.full(g_sizes[g], c).sum()),
+            reverse=True,
+        )
+
+        eff = np.array(
+            [dc for dc in dc_rank if dc_vms[dc].size > 0], dtype=np.int64
+        )
+        num_eff = eff.size
+        sizes_dc = np.array([members.size for members in dc_vms], dtype=np.int64)
+        members_concat = np.concatenate(dc_vms)
+        member_off = np.zeros(q, dtype=np.int64)
+        member_off[1:] = np.cumsum(sizes_dc)[:-1]
+
+        # t-th scheduled cloudlet -> datacenter, then -> cyclic VM slot.
+        t = np.arange(n, dtype=np.int64)
+        block = t // cap
+        under_cap = block < num_eff
+        d = np.where(under_cap, eff[np.minimum(block, num_eff - 1)], eff[0])
+        r = np.where(under_cap, t - block * cap, t - cap * num_eff + cap)
+        vm_by_t = members_concat[member_off[d] + r % sizes_dc[d]]
+
+        spills = int(np.count_nonzero(d != int(dc_rank[0])))
+        assigned_per_dc = np.bincount(d, minlength=q)
+
+        assignment = np.empty(n, dtype=np.int64)
+        proc = 0
+        for g in group_order:
+            size = g_sizes[g]
+            assignment[g_starts[g] : g_starts[g] + size] = vm_by_t[proc : proc + size]
+            proc += size
+        return assignment, assigned_per_dc, spills
+
+    def plan_carries(
+        self, stream: ScenarioChunks, rng: np.random.Generator, plans
+    ) -> "list[dict[str, Any] | None]":
+        assigner = self.open(stream, rng)
+        return _sliced_carries(assigner.assignment, assigner.info(), plans)
+
 
 # -- RBS --------------------------------------------------------------------
 
@@ -333,52 +613,41 @@ class StreamingRandomBiasedSampling(StreamingScheduler):
     def name(self) -> str:
         return "rbs"
 
-    def open(self, stream: ScenarioChunks, rng: np.random.Generator) -> ChunkAssigner:
+    def open(
+        self,
+        stream: ScenarioChunks,
+        rng: np.random.Generator,
+        carry: "dict[str, Any] | None" = None,
+    ) -> ChunkAssigner:
+        from repro.schedulers.rbs import BiasedWalk
+
+        if carry is not None:
+            return _precomputed_from_carry(carry)
+
         n, m = stream.num_cloudlets, stream.num_vms
         q = self.num_groups if self.num_groups is not None else min(4, m)
         q = min(q, m)
         groups = [
-            chunk.tolist() for chunk in np.array_split(np.arange(m), q) if chunk.size
+            chunk for chunk in np.array_split(np.arange(m), q) if chunk.size
         ]
         q = len(groups)
-        group_sizes = [len(g) for g in groups]
 
         omegas = rng.integers(1, q + 1, size=n).astype(np.int32)
         starts = rng.integers(0, q, size=n).astype(np.int32)
+        state = BiasedWalk(groups)
 
         class Assigner(ChunkAssigner):
-            def __init__(self) -> None:
-                self.nid = list(group_sizes)
-                self.free_total = sum(group_sizes)
-                self.cursor = [0] * q
-                self.walks_total = 0
-
             def assign(self, chunk: ScenarioArrays, offset: int) -> np.ndarray:
-                k = chunk.num_cloudlets
-                out = np.empty(k, dtype=np.int64)
-                nid, cursor = self.nid, self.cursor
-                free_total, walks = self.free_total, 0
+                return self.assign_range(offset, chunk.num_cloudlets)
+
+            def assign_range(self, offset: int, k: int) -> np.ndarray:
+                # The walk needs only the pre-drawn slices, never the
+                # cloudlet columns — plan_carries exploits this to walk
+                # the whole horizon without generating any chunk.
                 with _TEL.span("rbs.walk"):
-                    for i in range(k):
-                        omega = int(omegas[offset + i])
-                        g = int(starts[offset + i])
-                        if free_total == 0:
-                            nid[:] = group_sizes
-                            free_total = sum(group_sizes)
-                        while not (omega > g and nid[g] > 0):
-                            omega += 1
-                            g += 1
-                            if g == q:
-                                g = 0
-                            walks += 1
-                        members = groups[g]
-                        c = cursor[g]
-                        out[i] = members[c]
-                        cursor[g] = c + 1 if c + 1 < len(members) else 0
-                        nid[g] -= 1
-                        free_total -= 1
-                self.free_total = free_total
-                self.walks_total += walks
+                    out, walks = state.walk(
+                        omegas[offset : offset + k], starts[offset : offset + k]
+                    )
                 if _TEL.enabled:
                     _TEL.count("rbs.walk_hops", walks)
                 return out
@@ -386,10 +655,17 @@ class StreamingRandomBiasedSampling(StreamingScheduler):
             def info(self) -> dict[str, Any]:
                 return {
                     "num_groups": q,
-                    "mean_walk_length": self.walks_total / n if n else 0.0,
+                    "mean_walk_length": state.walks_total / n if n else 0.0,
                 }
 
         return Assigner()
+
+    def plan_carries(
+        self, stream: ScenarioChunks, rng: np.random.Generator, plans
+    ) -> "list[dict[str, Any] | None]":
+        assigner = self.open(stream, rng)
+        assignment = assigner.assign_range(0, stream.num_cloudlets)
+        return _sliced_carries(assignment, assigner.info(), plans)
 
 
 # -- fallback for in-memory-only schedulers ---------------------------------
@@ -414,13 +690,26 @@ class InMemoryFallback(StreamingScheduler):
     def name(self) -> str:
         return self.scheduler.name
 
-    def open(self, stream: ScenarioChunks, rng: np.random.Generator) -> ChunkAssigner:
+    def open(
+        self,
+        stream: ScenarioChunks,
+        rng: np.random.Generator,
+        carry: "dict[str, Any] | None" = None,
+    ) -> ChunkAssigner:
+        if carry is not None:
+            return _precomputed_from_carry(carry)
         spec = stream.to_spec()
         context = SchedulingContext(
             arrays=spec.arrays(), rng=rng, scenario_name=spec.name
         )
         decision = self.scheduler.schedule_checked(context)
         return _PrecomputedAssigner(decision.assignment, dict(decision.info))
+
+    def plan_carries(
+        self, stream: ScenarioChunks, rng: np.random.Generator, plans
+    ) -> "list[dict[str, Any] | None]":
+        assigner = self.open(stream, rng)
+        return _sliced_carries(assigner.assignment, assigner.info(), plans)
 
 
 #: Native streaming implementations keyed by registry name.

@@ -91,6 +91,29 @@ class _ChunkPass:
         raise NotImplementedError
 
 
+def _advance_uniform_draws(rng: np.random.Generator, count: int) -> None:
+    """Skip exactly ``count`` ``rng.uniform`` outputs, bit-exactly.
+
+    ``Generator.uniform`` consumes one 64-bit word per double, and PCG64's
+    ``advance`` jumps the state by an output count, so advancing by
+    ``count`` lands on the identical state a ``uniform(size=count)`` draw
+    would leave behind (pinned in ``tests/properties``).  Bit generators
+    without ``advance`` fall back to drawing and discarding in bounded
+    blocks, which is slower but still exact.
+    """
+    if count <= 0:
+        return
+    advance = getattr(rng.bit_generator, "advance", None)
+    if advance is not None:
+        advance(count)
+        return
+    remaining = count  # pragma: no cover - non-PCG64 generators only
+    while remaining > 0:  # pragma: no cover
+        block = min(remaining, 1 << 20)
+        rng.uniform(size=block)
+        remaining -= block
+
+
 @dataclass(frozen=True)
 class ConstantCloudlets:
     """Cloudlet source for identical cloudlets (the homogeneous workload)."""
@@ -100,7 +123,7 @@ class ConstantCloudlets:
     file_size: float = 300.0
     output_size: float = 300.0
 
-    def open_pass(self, seed: int | None) -> _ChunkPass:
+    def open_pass(self, seed: int | None, start: int = 0) -> _ChunkPass:
         source = self
 
         class Pass(_ChunkPass):
@@ -132,9 +155,10 @@ class UniformLengthCloudlets:
     output_size: float = 300.0
     rng_label: str = "hetero/cloudlets"
 
-    def open_pass(self, seed: int | None) -> _ChunkPass:
+    def open_pass(self, seed: int | None, start: int = 0) -> _ChunkPass:
         source = self
         rng = spawn_rng(seed, self.rng_label)
+        _advance_uniform_draws(rng, start)
 
         class Pass(_ChunkPass):
             def take(self, k: int) -> dict[str, np.ndarray]:
@@ -162,12 +186,12 @@ class MaterializedCloudlets:
     cloudlet_file_size: np.ndarray
     cloudlet_output_size: np.ndarray
 
-    def open_pass(self, seed: int | None) -> _ChunkPass:
+    def open_pass(self, seed: int | None, start: int = 0) -> _ChunkPass:
         source = self
 
         class Pass(_ChunkPass):
             def __init__(self) -> None:
-                self.cursor = 0
+                self.cursor = start
 
             def take(self, k: int) -> dict[str, np.ndarray]:
                 lo, hi = self.cursor, self.cursor + k
@@ -228,10 +252,33 @@ class ScenarioChunks:
 
     # -- iteration ----------------------------------------------------------
 
+    def chunk_offset(self, chunk_index: int) -> int:
+        """First cloudlet index of chunk ``chunk_index``."""
+        return chunk_index * self.chunk_size
+
     def __iter__(self) -> Iterator[tuple[int, ScenarioArrays]]:
-        chunk_pass = self.cloudlets.open_pass(self.seed)
-        offset = 0
-        while offset < self.num_cloudlets:
+        return self.iter_range(0, self.num_chunks)
+
+    def iter_range(
+        self, chunk_start: int, chunk_stop: int
+    ) -> Iterator[tuple[int, ScenarioArrays]]:
+        """Iterate chunks ``[chunk_start, chunk_stop)`` only.
+
+        The underlying pass seeks straight to the range's first cloudlet
+        (``open_pass(seed, start)``), so a shard can generate its slice
+        without producing the preceding chunks — and the produced columns
+        are bit-identical to the same chunks of a full pass (pinned in
+        ``tests/properties``).
+        """
+        if not 0 <= chunk_start <= chunk_stop <= self.num_chunks:
+            raise ValueError(
+                f"chunk range [{chunk_start}, {chunk_stop}) outside "
+                f"[0, {self.num_chunks})"
+            )
+        offset = self.chunk_offset(chunk_start)
+        stop = min(self.chunk_offset(chunk_stop), self.num_cloudlets)
+        chunk_pass = self.cloudlets.open_pass(self.seed, offset)
+        while offset < stop:
             k = min(self.chunk_size, self.num_cloudlets - offset)
             columns = chunk_pass.take(k)
             yield offset, ScenarioArrays(
@@ -392,6 +439,64 @@ class ScenarioChunks:
         }
 
 
+@dataclass(frozen=True)
+class ShardPlan:
+    """One shard's contiguous chunk range within a :class:`ScenarioChunks`.
+
+    Shards never split a chunk: the executor's fold is chunk-at-a-time, so
+    aligning shard boundaries to chunk boundaries makes a shard boundary
+    semantically identical to a chunk boundary.  ``start``/``stop`` are the
+    cloudlet offsets covered, precomputed so planners and carry logic never
+    re-derive them.
+    """
+
+    index: int
+    num_shards: int
+    chunk_start: int
+    chunk_stop: int
+    start: int
+    stop: int
+
+    @property
+    def num_chunks(self) -> int:
+        return self.chunk_stop - self.chunk_start
+
+    @property
+    def num_cloudlets(self) -> int:
+        return self.stop - self.start
+
+
+def plan_shards(stream: ScenarioChunks, shards: int) -> tuple[ShardPlan, ...]:
+    """Split a stream into ≤ ``shards`` contiguous, balanced chunk ranges.
+
+    Chunk counts follow ``np.array_split`` semantics (earlier shards get
+    the remainder), empty shards are dropped, and the ranges partition
+    ``[0, num_chunks)`` exactly — so executing the plans in index order and
+    merging reproduces the serial pass.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    num_chunks = stream.num_chunks
+    shards = min(shards, num_chunks)
+    base, extra = divmod(num_chunks, shards)
+    plans = []
+    chunk_start = 0
+    for index in range(shards):
+        chunk_stop = chunk_start + base + (1 if index < extra else 0)
+        plans.append(
+            ShardPlan(
+                index=index,
+                num_shards=shards,
+                chunk_start=chunk_start,
+                chunk_stop=chunk_stop,
+                start=stream.chunk_offset(chunk_start),
+                stop=min(stream.chunk_offset(chunk_stop), stream.num_cloudlets),
+            )
+        )
+        chunk_start = chunk_stop
+    return tuple(plans)
+
+
 def homogeneous_stream(
     num_vms: int,
     num_cloudlets: int,
@@ -493,6 +598,8 @@ def heterogeneous_stream(
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "ScenarioChunks",
+    "ShardPlan",
+    "plan_shards",
     "ConstantCloudlets",
     "UniformLengthCloudlets",
     "MaterializedCloudlets",

@@ -13,6 +13,11 @@ streaming scheduler and asserts the contract the docs promise:
    accumulator arrays) is bit-identical across chunk sizes.
 3. **Telemetry** — ``stream.chunks`` / ``stream.peak_rss`` gauges are
    populated when telemetry is on.
+4. **Shard invariance** (``--shards N``) — the same points run sharded
+   produce bit-identical results, and the merged peak-RSS figure (max
+   across shard workers) still fits the budget.  The homogeneous
+   workload is constant-cloudlet, so the merge is exact at any shard
+   count (see docs/performance.md, "Sharded streaming").
 
 Prints per-scheduler throughput; exit status 0 on success, any contract
 violation raises.
@@ -20,7 +25,7 @@ violation raises.
 Usage::
 
     PYTHONPATH=src python tools/stream_smoke.py [--cloudlets 100000]
-        [--budget-mib 512]
+        [--budget-mib 512] [--shards 2]
 """
 
 from __future__ import annotations
@@ -30,7 +35,7 @@ import sys
 import time
 
 from repro import obs
-from repro.cloud.fast import StreamingSimulation, peak_rss_bytes
+from repro.cloud.fast import StreamingSimulation, peak_rss_bytes, shutdown_shard_pool
 from repro.obs.telemetry import TELEMETRY
 from repro.schedulers.streaming import STREAMING_SCHEDULERS, make_streaming_scheduler
 from repro.workloads.streaming import homogeneous_stream
@@ -41,13 +46,13 @@ SEED = 0
 CHUNK_SIZES = (8_192, 65_536)
 
 
-def run_one(name: str, num_cloudlets: int, chunk_size: int):
+def run_one(name: str, num_cloudlets: int, chunk_size: int, shards: int | None = None):
     stream = homogeneous_stream(
         NUM_VMS, num_cloudlets, seed=SEED, chunk_size=chunk_size
     )
     t0 = time.perf_counter()
     result = StreamingSimulation(
-        stream, make_streaming_scheduler(name), seed=SEED
+        stream, make_streaming_scheduler(name), seed=SEED, shards=shards
     ).run()
     return result, time.perf_counter() - t0
 
@@ -61,8 +66,15 @@ def main(argv: list[str] | None = None) -> int:
         default=512.0,
         help="peak-RSS ceiling for the whole smoke (documented budget)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="additionally run each point sharded and require bit-equality",
+    )
     args = parser.parse_args(argv)
     budget_bytes = int(args.budget_mib * 2**20)
+    merged_peak = 0
 
     with obs.enabled(True):
         for name in sorted(STREAMING_SCHEDULERS):
@@ -83,11 +95,35 @@ def main(argv: list[str] | None = None) -> int:
                 f"({args.cloudlets / elapsed:12,.0f} cloudlets/s)  "
                 f"makespan={result.makespan:g}"
             )
+            if args.shards:
+                sharded, sh_elapsed = run_one(
+                    name, args.cloudlets, CHUNK_SIZES[1], shards=args.shards
+                )
+                for field in ("makespan", "time_imbalance", "total_cost"):
+                    a, b = getattr(result, field), getattr(sharded, field)
+                    if a != b:
+                        raise AssertionError(
+                            f"{name}: {field} not shard-invariant: {a!r} != {b!r}"
+                        )
+                if sharded.vm_finish_times.tobytes() != result.vm_finish_times.tobytes():
+                    raise AssertionError(f"{name}: vm_finish_times not shard-invariant")
+                if sharded.vm_costs.tobytes() != result.vm_costs.tobytes():
+                    raise AssertionError(f"{name}: vm_costs not shard-invariant")
+                merged_peak = max(merged_peak, sharded.peak_rss_bytes)
+                print(
+                    f"{'':12s} --shards {args.shards}: {sh_elapsed:6.2f}s, "
+                    f"bit-identical, worker peak RSS "
+                    f"{sharded.peak_rss_bytes / 2**20:.0f} MiB"
+                )
         gauges = TELEMETRY.snapshot().to_dict()["gauges"]
+    if args.shards:
+        shutdown_shard_pool()
     if "stream.chunks" not in gauges or "stream.peak_rss" not in gauges:
         raise AssertionError(f"stream gauges missing from telemetry: {sorted(gauges)}")
 
-    peak = peak_rss_bytes()
+    # With shards, the binding figure is the max across parent and shard
+    # workers (a parent-only read would silently under-report).
+    peak = max(peak_rss_bytes(), merged_peak)
     print(f"peak RSS: {peak / 2**20:.0f} MiB (budget {args.budget_mib:.0f} MiB)")
     if peak > budget_bytes:
         raise AssertionError(
