@@ -38,7 +38,7 @@ def build_parser() -> argparse.ArgumentParser:
         "target",
         help=(
             "figure id (fig4a-fig5b, fig6a-fig6d), extension id (ext-*), "
-            "'compare', 'storm', 'report', 'cache', 'all', or 'list'"
+            "'compare', 'storm', 'serve', 'report', 'cache', 'all', or 'list'"
         ),
     )
     parser.add_argument(
@@ -105,6 +105,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     storm.add_argument(
         "--cooldown", type=float, default=2.0, help="per-action cooldown (s)"
+    )
+    serve = parser.add_argument_group("serve options (target 'serve')")
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address for the HTTP service"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8080, help="bind port for the HTTP service"
+    )
+    serve.add_argument(
+        "--fleet",
+        action="append",
+        default=None,
+        metavar="NAME=SCHEDULER:FAMILY:VMS[:SEED]",
+        help=(
+            "fleet to serve (repeatable), e.g. edge=greedy-mct:homogeneous:100; "
+            "servable schedulers: basetest, greedy-mct "
+            "(default: edge=greedy-mct:homogeneous:100)"
+        ),
     )
     parser.add_argument(
         "--preset",
@@ -298,6 +316,55 @@ def run_storm(args) -> int:
     return 0
 
 
+def _parse_fleet_arg(text: str):
+    """``NAME=SCHEDULER:FAMILY:VMS[:SEED]`` → :class:`repro.serve.FleetSpec`."""
+    from repro.serve import FleetSpec
+
+    name, sep, rest = text.partition("=")
+    if not sep or not name:
+        raise ValueError(f"fleet spec {text!r} is not NAME=SCHEDULER:FAMILY:VMS[:SEED]")
+    parts = rest.split(":")
+    if not 1 <= len(parts) <= 4:
+        raise ValueError(f"fleet spec {text!r} has {len(parts)} fields, expected 1-4")
+    scheduler = parts[0]
+    family = parts[1] if len(parts) > 1 and parts[1] else "homogeneous"
+    num_vms = int(parts[2]) if len(parts) > 2 else 100
+    seed = int(parts[3]) if len(parts) > 3 else 0
+    return FleetSpec(
+        name=name, scheduler=scheduler, family=family, num_vms=num_vms, seed=seed
+    )
+
+
+def run_serve(args) -> int:
+    """Serve live placement requests over HTTP until interrupted."""
+    from repro.serve import SchedulerService, ServeError
+    from repro.serve.http import run_server
+
+    service = SchedulerService()
+    try:
+        for text in args.fleet or ["edge=greedy-mct:homogeneous:100"]:
+            spec = _parse_fleet_arg(text)
+            fleet = service.add_fleet(spec)
+            print(
+                f"fleet {spec.name!r}: {spec.scheduler} over {spec.num_vms} "
+                f"{spec.family} VMs, seed {spec.seed} "
+                f"(fingerprint {fleet.manifest.fingerprint()[:12]})"
+            )
+    except (ServeError, ValueError) as exc:
+        print(f"bad --fleet: {exc}", file=sys.stderr)
+        return 2
+    print(
+        "endpoints: GET /healthz | GET /v1/fleets[/<name>] | "
+        "POST /v1/fleets/<name>/submit"
+    )
+    if args.telemetry:
+        with obs.enabled(True):
+            run_server(service, args.host, args.port)
+    else:
+        run_server(service, args.host, args.port)
+    return 0
+
+
 def _report_one(path: Path) -> bool:
     """Render one artifact (run JSON or telemetry JSONL); False if unusable."""
     if path.suffix == ".jsonl":
@@ -449,6 +516,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.target == "storm":
         args.out.mkdir(parents=True, exist_ok=True)
         return run_storm(args)
+    if args.target == "serve":
+        return run_serve(args)
     if args.target == "report":
         return run_report(args)
     if args.target == "cache":

@@ -94,6 +94,16 @@ class StreamingScheduler(abc.ABC):
     #: True for native chunk-wise policies; the in-memory fallback says False.
     streaming_native = True
 
+    #: True when ``open()`` derives all state from the resident fleet
+    #: arrays — no pre-scan of the cloudlet stream, no monolithic RNG
+    #: draws sized by ``num_cloudlets`` — so the assigner can admit
+    #: batches whose total count is unknown in advance.  This is the
+    #: property the serving layer (``repro.serve``) needs to answer live
+    #: submissions bit-identically to an offline replay; HBO and RBS
+    #: stay False because their first decision depends on the whole
+    #: workload (global group ordering / one monolithic draw pass).
+    admits_online = False
+
     @property
     @abc.abstractmethod
     def name(self) -> str:
@@ -146,6 +156,8 @@ class StreamingScheduler(abc.ABC):
 
 class StreamingRoundRobin(StreamingScheduler):
     """Chunked Base Test: cloudlet ``i`` → VM ``(i + start_offset) % m``."""
+
+    admits_online = True
 
     def __init__(self, start_offset: int = 0) -> None:
         if start_offset < 0:
@@ -215,6 +227,8 @@ class StreamingGreedy(StreamingScheduler):
     each shard boundary by the generic serial pre-pass in
     :meth:`StreamingScheduler.plan_carries`.
     """
+
+    admits_online = True
 
     @property
     def name(self) -> str:

@@ -1,0 +1,95 @@
+"""Scheduling as a service: live batch admission over the streaming path.
+
+The streaming schedulers (PR 5/7) decide each chunk in O(num_vms) from
+carried per-VM state, so a long-lived process can hold one open
+:class:`~repro.schedulers.streaming.ChunkAssigner` per fleet and answer
+cloudlet batches as they arrive — same code path, same arithmetic, same
+placements as an offline run.  This package is that process:
+
+* :mod:`repro.serve.service` — fleets, submission handling, telemetry
+  (``serve.requests`` / ``serve.batch_size`` counters, per-fleet p50/p99
+  latency gauges) and manifest provenance;
+* :mod:`repro.serve.protocol` — the JSON wire contract and 4xx error
+  taxonomy;
+* :mod:`repro.serve.http` — a stdlib asyncio HTTP/1.1 façade;
+* :mod:`repro.serve.loadgen` — a deterministic open-loop load generator
+  with SLO gates and the offline bit-identity check.
+
+Determinism guarantee (pinned in ``tests/serve`` and
+``tools/serve_smoke.py``): for any sequence of accepted submissions, the
+concatenated live placements equal an offline
+:class:`~repro.cloud.fast.StreamingSimulation` over the same cloudlets in
+admission order, bit for bit — see docs/serving.md.
+
+The whole API is importable from the package root::
+
+    >>> from repro.serve import FleetSpec, SchedulerService
+    >>> service = SchedulerService()
+    >>> _ = service.add_fleet(FleetSpec(name="edge", num_vms=3, scheduler="basetest"))
+    >>> service.submit("edge", {"count": 5, "length": 900.0}).placements.tolist()
+    [0, 1, 2, 0, 1]
+
+and rejects what it cannot serve deterministically::
+
+    >>> from repro.serve import ServeError
+    >>> try:
+    ...     FleetSpec(name="edge", scheduler="honeybee")
+    ... except ServeError as exc:
+    ...     (exc.status, exc.code)
+    (400, 'unservable-scheduler')
+"""
+
+from repro.serve.http import ServeHTTP, ServerHandle, run_server, start_http_server
+from repro.serve.loadgen import (
+    LoadReport,
+    LoadTrace,
+    SloSpec,
+    TraceSpec,
+    assert_bit_identical,
+    build_trace,
+    replay,
+    replay_inprocess,
+)
+from repro.serve.protocol import (
+    MAX_BATCH,
+    MAX_BODY_BYTES,
+    ServeError,
+    SubmissionBatch,
+    parse_submission,
+)
+from repro.serve.service import (
+    SERVABLE_SCHEDULERS,
+    Fleet,
+    FleetSpec,
+    Placement,
+    SchedulerService,
+    concat_batches,
+    offline_assignments,
+)
+
+__all__ = [
+    "SERVABLE_SCHEDULERS",
+    "MAX_BATCH",
+    "MAX_BODY_BYTES",
+    "ServeError",
+    "SubmissionBatch",
+    "parse_submission",
+    "FleetSpec",
+    "Fleet",
+    "Placement",
+    "SchedulerService",
+    "concat_batches",
+    "offline_assignments",
+    "ServeHTTP",
+    "ServerHandle",
+    "run_server",
+    "start_http_server",
+    "TraceSpec",
+    "LoadTrace",
+    "build_trace",
+    "SloSpec",
+    "LoadReport",
+    "replay",
+    "replay_inprocess",
+    "assert_bit_identical",
+]

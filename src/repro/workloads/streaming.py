@@ -302,6 +302,53 @@ class ScenarioChunks:
 
         return replace(self, chunk_size=chunk_size)
 
+    def with_cloudlets(
+        self,
+        cloudlet_length: np.ndarray,
+        cloudlet_pes: "np.ndarray | None" = None,
+        cloudlet_file_size: "np.ndarray | None" = None,
+        cloudlet_output_size: "np.ndarray | None" = None,
+        chunk_size: "int | None" = None,
+    ) -> "ScenarioChunks":
+        """The same fleet serving explicitly provided cloudlet columns.
+
+        Swaps the cloudlet source for a :class:`MaterializedCloudlets`
+        over the given columns (``pes`` defaults to 1, file/output sizes
+        to 0) while the resident VM and datacenter arrays stay shared.
+        The serving layer uses this to replay live submissions through
+        the offline engines: the fleet keeps its name — and therefore its
+        ``scheduler/{name}`` RNG stream — while the workload becomes
+        whatever was submitted, in admission order.
+        """
+        from dataclasses import replace
+
+        length = np.ascontiguousarray(cloudlet_length, dtype=float)
+        if length.ndim != 1 or length.shape[0] < 1:
+            raise ValueError("cloudlet_length must be a non-empty 1-D array")
+        n = int(length.shape[0])
+
+        def _column(values, default, dtype):
+            if values is None:
+                return np.full(n, default, dtype=dtype)
+            out = np.ascontiguousarray(values, dtype=dtype)
+            if out.shape != (n,):
+                raise ValueError(
+                    f"cloudlet column shape {out.shape} != ({n},)"
+                )
+            return out
+
+        return replace(
+            self,
+            num_cloudlets=n,
+            chunk_size=chunk_size if chunk_size is not None else self.chunk_size,
+            cloudlets=MaterializedCloudlets(
+                cloudlet_length=length,
+                cloudlet_pes=_column(cloudlet_pes, 1, np.int64),
+                cloudlet_file_size=_column(cloudlet_file_size, 0.0, float),
+                cloudlet_output_size=_column(cloudlet_output_size, 0.0, float),
+            ),
+        )
+
     # -- conversions --------------------------------------------------------
 
     @classmethod

@@ -25,6 +25,10 @@ MODULES_WITH_EXAMPLES = [
     "repro.workloads.synthetic",
     "repro.workloads.streaming",
     "repro.schedulers.streaming",
+    "repro.serve",
+    "repro.serve.protocol",
+    "repro.serve.service",
+    "repro.serve.loadgen",
     "repro.experiments.profiling",
     "repro.analysis.report_md",
     "repro.metrics.resilience",

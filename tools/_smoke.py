@@ -1,0 +1,47 @@
+"""Shared plumbing for the ``tools/`` smoke scripts.
+
+Every smoke script used to re-implement the same three fragments: making
+``repro`` importable from a source checkout, building an argparse parser
+whose description is the script's first docstring line, and exiting with
+``main()``'s return code.  They now live here once:
+
+* importing this module puts ``<repo>/src`` on ``sys.path`` when
+  ``repro`` is not already importable, so ``python tools/<x>_smoke.py``
+  works with or without ``PYTHONPATH=src`` — import it *before* any
+  ``repro`` import;
+* :func:`smoke_parser` builds the standard parser;
+* :func:`run` is the ``if __name__ == "__main__"`` tail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Callable
+
+
+def ensure_repro_importable() -> None:
+    """Put the checkout's ``src/`` first on ``sys.path`` if needed."""
+    try:
+        import repro  # noqa: F401
+    except ModuleNotFoundError:
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+        )
+        if src not in sys.path:
+            sys.path.insert(0, src)
+
+
+def smoke_parser(doc: "str | None") -> argparse.ArgumentParser:
+    """The standard smoke parser: description = first docstring line."""
+    description = (doc or "").strip().splitlines()[0] if doc else None
+    return argparse.ArgumentParser(description=description)
+
+
+def run(main: Callable[[], int]) -> None:
+    """Exit the process with ``main()``'s return code."""
+    sys.exit(main())
+
+
+ensure_repro_importable()

@@ -21,11 +21,10 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
-import sys
 import tempfile
 import time
 
+from _smoke import run, smoke_parser  # noqa: E402 - puts src/ on sys.path
 from repro.cache import ResultCache
 from repro.experiments.figures import get_experiment
 from repro.experiments.runner import run_sweep
@@ -72,7 +71,7 @@ def check(condition: bool, message: str) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = smoke_parser(__doc__)
     parser.add_argument(
         "--min-speedup",
         type=float,
@@ -128,4 +127,4 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    run(main)

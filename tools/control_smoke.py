@@ -24,11 +24,11 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
 import hashlib
-import sys
 
 import numpy as np
+
+from _smoke import run, smoke_parser  # noqa: E402 - puts src/ on sys.path
 
 from repro.cloud.chaos import demo_storm_timeline, run_storm_suite
 from repro.cloud.control import ControlConfig
@@ -140,7 +140,7 @@ def check_ablation(scenario) -> None:
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = smoke_parser(__doc__)
     parser.add_argument("--vms", type=int, default=10)
     parser.add_argument("--cloudlets", type=int, default=80)
     args = parser.parse_args(argv)
@@ -162,4 +162,4 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    run(main)

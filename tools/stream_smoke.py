@@ -30,10 +30,9 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
-import sys
 import time
 
+from _smoke import run, smoke_parser  # noqa: E402 - puts src/ on sys.path
 from repro import obs
 from repro.cloud.fast import StreamingSimulation, peak_rss_bytes, shutdown_shard_pool
 from repro.obs.telemetry import TELEMETRY
@@ -58,7 +57,7 @@ def run_one(name: str, num_cloudlets: int, chunk_size: int, shards: int | None =
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = smoke_parser(__doc__)
     parser.add_argument("--cloudlets", type=int, default=100_000)
     parser.add_argument(
         "--budget-mib",
@@ -134,4 +133,4 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    run(main)
