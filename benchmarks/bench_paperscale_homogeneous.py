@@ -10,8 +10,9 @@ process's peak RSS, per chunk size.
 ``--benchmark-only`` selects these; the 1M point runs a single round (the
 workload itself is the repetition).
 
-Run as a script to regenerate the committed 10M serial-vs-sharded record
-(``BENCH_paperscale.json``)::
+Run as a script to regenerate the committed record
+(``BENCH_paperscale.json``): the 10M serial-vs-sharded point plus the
+serial-only 100M point the constant-memory assigners unlock::
 
     PYTHONPATH=src:. python benchmarks/bench_paperscale_homogeneous.py
 """
@@ -33,10 +34,15 @@ from repro.workloads.streaming import homogeneous_stream
 PAPER_CLOUDLETS = 1_000_000
 #: the ROADMAP's next decade, exercised serial vs sharded.
 TENX_CLOUDLETS = 10_000_000
+#: two decades past the paper — reachable only because every assigner is
+#: O(num_vms + chunk_size); run serial-only (the point is memory, and
+#: the RBS plan pre-pass would double the serial walk on few cores).
+HUNDREDM_CLOUDLETS = 100_000_000
 #: Fig. 4a/5a's smallest fleet (keeps per-VM accumulators tiny).
 NUM_VMS = 1_000
 SEED = 0
 BENCH_SHARDS = 4
+SCHEDULERS = ("basetest", "greedy-mct", "honeybee", "rbs")
 
 #: chunk-size sweep: memory/throughput trade-off, metrics invariant.
 CHUNK_SIZES = (16_384, 65_536, 262_144)
@@ -132,10 +138,15 @@ def test_paperscale_10m_serial_vs_sharded(benchmark, shards):
         shutdown_shard_pool()
 
 
-def _bench_point(name: str, shards: int | None, rounds: int = 2):
-    """Best-of-``rounds`` timing for one (scheduler, mode) 10M cell."""
+def _bench_point(
+    name: str,
+    shards: int | None,
+    rounds: int = 2,
+    num_cloudlets: int = TENX_CLOUDLETS,
+):
+    """Best-of-``rounds`` timing for one (scheduler, mode, scale) cell."""
     stream = homogeneous_stream(
-        NUM_VMS, TENX_CLOUDLETS, seed=SEED, chunk_size=65_536
+        NUM_VMS, num_cloudlets, seed=SEED, chunk_size=65_536
     )
     best, result = float("inf"), None
     for _ in range(rounds):
@@ -147,65 +158,116 @@ def _bench_point(name: str, shards: int | None, rounds: int = 2):
     return result, best
 
 
-def main(
-    out: "str | Path" = Path(__file__).parent.parent / "BENCH_paperscale.json",
-) -> Path:
-    """Regenerate the committed 10M serial-vs-sharded streaming record.
+def sweep_rows(
+    num_cloudlets: int,
+    shards: int | None = BENCH_SHARDS,
+    rounds: int = 2,
+    schedulers: "tuple[str, ...]" = SCHEDULERS,
+) -> list[dict]:
+    """One recorded row per scheduler at ``num_cloudlets``.
 
-    Every row re-verifies the shard contract (bit-identical metrics and
-    per-VM accumulators) before its timings are recorded, so the file can
-    never pin a speedup obtained from a divergent result.  ``cpu_count``
-    is recorded because the speedup column only means something relative
-    to it: with one core the pool serialises and sharding is pure
-    overhead; parallel speedup needs >= ``shards`` cores.
+    With ``shards`` set, every row re-verifies the shard contract
+    (bit-identical metrics and per-VM accumulators) before its timings
+    are recorded, so the file can never pin a speedup obtained from a
+    divergent result.  ``shards=None`` records serial-only rows (the
+    100M point and the regression gauntlet's reduced-scale runs).
     """
     rows = []
-    for name in ("basetest", "greedy-mct", "honeybee", "rbs"):
-        serial, serial_s = _bench_point(name, None)
-        sharded, sharded_s = _bench_point(name, BENCH_SHARDS)
-        for field in ("makespan", "time_imbalance", "total_cost"):
-            a, b = getattr(serial, field), getattr(sharded, field)
-            if a != b:
-                raise AssertionError(f"{name}: sharded {field} diverged: {a!r} != {b!r}")
-        if serial.vm_finish_times.tobytes() != sharded.vm_finish_times.tobytes():
-            raise AssertionError(f"{name}: sharded vm_finish_times diverged")
-        if serial.vm_costs.tobytes() != sharded.vm_costs.tobytes():
-            raise AssertionError(f"{name}: sharded vm_costs diverged")
-        rows.append(
+    for name in schedulers:
+        serial, serial_s = _bench_point(name, None, rounds, num_cloudlets)
+        row = {
+            "scheduler": name,
+            "serial_seconds": round(serial_s, 3),
+            "serial_throughput_cloudlets_per_s": round(num_cloudlets / serial_s),
+            "serial_peak_rss_mb": round(serial.peak_rss_bytes / 2**20, 1),
+            "makespan": serial.makespan,
+        }
+        if shards:
+            sharded, sharded_s = _bench_point(name, shards, rounds, num_cloudlets)
+            for field in ("makespan", "time_imbalance", "total_cost"):
+                a, b = getattr(serial, field), getattr(sharded, field)
+                if a != b:
+                    raise AssertionError(
+                        f"{name}: sharded {field} diverged: {a!r} != {b!r}"
+                    )
+            if serial.vm_finish_times.tobytes() != sharded.vm_finish_times.tobytes():
+                raise AssertionError(f"{name}: sharded vm_finish_times diverged")
+            if serial.vm_costs.tobytes() != sharded.vm_costs.tobytes():
+                raise AssertionError(f"{name}: sharded vm_costs diverged")
+            row.update(
+                {
+                    "sharded_seconds": round(sharded_s, 3),
+                    "speedup_sharded_vs_serial": round(serial_s / sharded_s, 3),
+                    "sharded_throughput_cloudlets_per_s": round(
+                        num_cloudlets / sharded_s
+                    ),
+                    "sharded_peak_rss_mb": round(sharded.peak_rss_bytes / 2**20, 1),
+                    "bit_identical": True,
+                }
+            )
+            print(
+                f"{name:12s} {num_cloudlets:>11,} serial {serial_s:6.2f}s  "
+                f"sharded({shards}) {sharded_s:6.2f}s  bit-identical"
+            )
+        else:
+            print(
+                f"{name:12s} {num_cloudlets:>11,} serial {serial_s:6.2f}s  "
+                f"peak RSS {row['serial_peak_rss_mb']:.0f} MiB"
+            )
+        rows.append(row)
+    return rows
+
+
+def main(
+    out: "str | Path" = Path(__file__).parent.parent / "BENCH_paperscale.json",
+    with_hundredm: bool = True,
+) -> Path:
+    """Regenerate the committed paper-scale streaming record.
+
+    Two points: the 10M decade serial-vs-sharded (the shard contract and
+    its overhead/speedup columns), and the 100M decade serial-only — the
+    scale the constant-memory assigners unlock, recorded against the
+    512 MiB smoke budget.  ``cpu_count`` is recorded because the speedup
+    column only means something relative to it: with one core the pool
+    serialises and sharding is pure overhead; parallel speedup needs
+    >= ``shards`` cores.
+    """
+    points = [
+        {
+            "num_cloudlets": TENX_CLOUDLETS,
+            "shards": BENCH_SHARDS,
+            "rows": sweep_rows(TENX_CLOUDLETS, BENCH_SHARDS, rounds=2),
+        }
+    ]
+    shutdown_shard_pool()
+    if with_hundredm:
+        points.append(
             {
-                "scheduler": name,
-                "serial_seconds": round(serial_s, 3),
-                "sharded_seconds": round(sharded_s, 3),
-                "speedup_sharded_vs_serial": round(serial_s / sharded_s, 3),
-                "serial_throughput_cloudlets_per_s": round(TENX_CLOUDLETS / serial_s),
-                "sharded_throughput_cloudlets_per_s": round(TENX_CLOUDLETS / sharded_s),
-                "serial_peak_rss_mb": round(serial.peak_rss_bytes / 2**20, 1),
-                "sharded_peak_rss_mb": round(sharded.peak_rss_bytes / 2**20, 1),
-                "makespan": serial.makespan,
-                "bit_identical": True,
+                "num_cloudlets": HUNDREDM_CLOUDLETS,
+                "shards": None,
+                "rows": sweep_rows(HUNDREDM_CLOUDLETS, None, rounds=1),
             }
         )
-        print(
-            f"{name:12s} serial {serial_s:6.2f}s  "
-            f"sharded({BENCH_SHARDS}) {sharded_s:6.2f}s  bit-identical"
-        )
-    shutdown_shard_pool()
     payload = {
         "benchmark": "paperscale_streaming",
-        "num_cloudlets": TENX_CLOUDLETS,
         "num_vms": NUM_VMS,
         "chunk_size": 65_536,
         "seed": SEED,
-        "shards": BENCH_SHARDS,
         "cpu_count": os.cpu_count(),
         "note": (
-            "speedup_sharded_vs_serial is relative to cpu_count: the shard "
-            "pool runs one worker per shard, so >= 'shards' cores are needed "
-            "for parallel speedup; on fewer cores the column measures "
-            "dispatch+merge overhead. peak RSS is the ru_maxrss high-water "
-            "mark, max across parent and shard workers."
+            "speedup_sharded_vs_serial folds two effects: pool parallelism "
+            "(needs >= 'shards' cores; cpu_count is recorded for that) and "
+            "lean shard execution — on constant workloads multi-shard runs "
+            "skip the per-chunk float folds the merge rebuilds from counts, "
+            "so sharding can beat serial even on one core. rbs is the "
+            "exception: its walk is strictly sequential, so the carry "
+            "planner re-walks the whole horizon serially before workers "
+            "start, and one-core sharding stays a net loss. peak RSS is the "
+            "ru_maxrss high-water mark, max across parent and shard workers; "
+            "the 100M point runs serial-only and must sit inside the 512 MiB "
+            "stream-smoke budget."
         ),
-        "rows": rows,
+        "points": points,
     }
     out = Path(out)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -318,8 +318,11 @@ class ShardOutcome:
     shard_index: int
     num_chunks: int
     scheduling_time: float
-    backlog: np.ndarray
-    vm_costs: np.ndarray
+    #: per-VM partial float folds; ``None`` in lean mode (constant
+    #: workloads), where the merge rebuilds them from ``counts`` instead
+    #: of paying to compute, pickle and ship redundant float arrays.
+    backlog: "np.ndarray | None"
+    vm_costs: "np.ndarray | None"
     #: per-VM assignment counts (int64) — exactly mergeable, lets the merge
     #: rebuild the serial float fold bit-for-bit on constant workloads.
     counts: np.ndarray
@@ -338,6 +341,7 @@ def execute_shard(
     plan: "ShardPlan",
     carry: "dict[str, Any] | None" = None,
     collect: bool = False,
+    lean: bool = False,
 ) -> ShardOutcome:
     """Run one shard's chunks through the execution fold.
 
@@ -348,6 +352,11 @@ def execute_shard(
     historical behaviour by construction.  Collect-mode start/finish
     times are shard-local; the merger shifts them by the per-VM backlog
     prefix of earlier shards.
+
+    ``lean`` (constant workloads, bounded mode, multi-shard only) skips
+    the per-chunk float folds entirely and ships ``backlog``/``vm_costs``
+    as ``None`` — the merge rebuilds them bit-exactly from the integer
+    ``counts``, so the floats would be dead pickle weight.
     """
     m = stream.num_vms
     rng = spawn_rng(seed, f"scheduler/{stream.name}")
@@ -379,6 +388,11 @@ def execute_shard(
         scheduling_time += time.perf_counter() - t0
         _validate_chunk(assignment, chunk.num_cloudlets, m, offset)
 
+        if lean:
+            with _TEL.span("sim.execute"):
+                counts += np.bincount(assignment, minlength=m)
+            continue
+
         with _TEL.span("sim.execute"):
             exec_chunk = chunk.cloudlet_length / chunk.vm_mips[assignment]
             if collect:
@@ -405,8 +419,8 @@ def execute_shard(
         shard_index=plan.index,
         num_chunks=num_chunks,
         scheduling_time=scheduling_time,
-        backlog=backlog,
-        vm_costs=vm_costs,
+        backlog=None if lean else backlog,
+        vm_costs=None if lean else vm_costs,
         counts=counts,
         exec_min=exec_min,
         exec_max=exec_max,
@@ -428,13 +442,13 @@ def _execute_shard_task(payload: tuple) -> "tuple[ShardOutcome, dict | None]":
     Instead the chunk count and peak RSS travel in the
     :class:`ShardOutcome` and the parent publishes them once.
     """
-    stream, scheduler, seed, plan, carry, collect, with_telemetry = payload
+    stream, scheduler, seed, plan, carry, collect, lean, with_telemetry = payload
     _TEL.reset()
     if with_telemetry:
         _TEL.enable()
     else:
         _TEL.disable()
-    outcome = execute_shard(stream, scheduler, seed, plan, carry, collect)
+    outcome = execute_shard(stream, scheduler, seed, plan, carry, collect, lean)
     snap = _TEL.snapshot().to_dict() if with_telemetry else None
     return outcome, snap
 
@@ -590,6 +604,16 @@ class StreamingSimulation:
                 )
 
         # -- execute ---------------------------------------------------------
+        from repro.workloads.streaming import ConstantCloudlets
+
+        # Lean shards skip the per-chunk float folds when the merge will
+        # rebuild them from counts anyway (constant workloads, bounded
+        # mode, multiple shards) — less per-shard work and less pickle.
+        lean = (
+            len(plans) > 1
+            and not self.collect
+            and isinstance(stream.cloudlets, ConstantCloudlets)
+        )
         outcomes: list[ShardOutcome] = []
         if len(plans) > 1 and self.shard_parallel:
             with_telemetry = _TEL.enabled
@@ -598,7 +622,7 @@ class StreamingSimulation:
                 pool.submit(
                     _execute_shard_task,
                     (stream, self.scheduler, self.seed, plan, carry,
-                     self.collect, with_telemetry),
+                     self.collect, lean, with_telemetry),
                 )
                 for plan, carry in zip(plans, carries)
             ]
@@ -611,7 +635,8 @@ class StreamingSimulation:
             for plan, carry in zip(plans, carries):
                 outcomes.append(
                     execute_shard(
-                        stream, self.scheduler, self.seed, plan, carry, self.collect
+                        stream, self.scheduler, self.seed, plan, carry,
+                        self.collect, lean,
                     )
                 )
 
@@ -657,8 +682,9 @@ class StreamingSimulation:
                 collected["start"].append(start)
                 collected["finish"].append(finish)
                 collected["costs"].append(parts["costs"])
-            backlog += outcome.backlog
-            vm_costs += outcome.vm_costs
+            if outcome.backlog is not None:
+                backlog += outcome.backlog
+                vm_costs += outcome.vm_costs
             counts += outcome.counts
             exec_min = min(exec_min, outcome.exec_min)
             exec_max = max(exec_max, outcome.exec_max)
@@ -691,6 +717,14 @@ class StreamingSimulation:
                 )
                 backlog = _repeated_add_fold(exec_const, counts)
                 vm_costs = _repeated_add_fold(cost_const, counts)
+                # Lean shards also skip the exec-time envelope; every
+                # assigned execution time is exactly length / vm_mips[v],
+                # so the serial min/max are the envelope of the constants
+                # on occupied VMs — the identical IEEE divisions.
+                occupied = exec_const[counts > 0]
+                if occupied.size:
+                    exec_min = float(occupied.min())
+                    exec_max = float(occupied.max())
 
         # Telemetry values that must aggregate max-wise across workers:
         # a parent-side ru_maxrss read alone would silently under-report

@@ -121,6 +121,28 @@ class BiasedWalk:
         self.walks_total += hops
         return out, hops
 
+    def state_dict(self) -> "dict[str, object]":
+        """Picklable snapshot of the mutable walk state (O(q) sized).
+
+        The group tables are derivable from the fleet, so only the
+        per-round capacities, cyclic cursors and hop counter travel —
+        restoring them via :meth:`load_state` resumes the walk exactly
+        where a serial walk would stand (the shard-carry contract).
+        """
+        return {
+            "nid": self.nid.copy(),
+            "free_total": int(self.free_total),
+            "cursor": self.cursor.copy(),
+            "walks_total": int(self.walks_total),
+        }
+
+    def load_state(self, state: "dict[str, object]") -> None:
+        """Restore a :meth:`state_dict` snapshot onto this walk."""
+        self.nid[:] = np.asarray(state["nid"], dtype=np.int64)
+        self.free_total = int(state["free_total"])  # type: ignore[arg-type]
+        self.cursor[:] = np.asarray(state["cursor"], dtype=np.int64)
+        self.walks_total = int(state["walks_total"])  # type: ignore[arg-type]
+
 
 class RandomBiasedSamplingScheduler(Scheduler):
     """RBS cloudlet scheduler.

@@ -275,11 +275,32 @@ class ScenarioChunks:
                 f"chunk range [{chunk_start}, {chunk_stop}) outside "
                 f"[0, {self.num_chunks})"
             )
-        offset = self.chunk_offset(chunk_start)
+        start = self.chunk_offset(chunk_start)
         stop = min(self.chunk_offset(chunk_stop), self.num_cloudlets)
+        return self.iter_cloudlet_range(start, stop)
+
+    def iter_cloudlet_range(
+        self, start: int, stop: int
+    ) -> Iterator[tuple[int, ScenarioArrays]]:
+        """Iterate chunk-size slices of cloudlets ``[start, stop)``.
+
+        Unlike :meth:`iter_range` the bounds need not be chunk-aligned:
+        generation is keyed by absolute cloudlet position (``open_pass``
+        seeks, and chunked draws concatenate bit-for-bit), so any slicing
+        of the same range yields identical values.  Schedulers whose
+        pre-passes follow non-chunk boundaries (HBO's contiguous cloudlet
+        groups) read their ranges through this without materialising
+        anything O(n).
+        """
+        if not 0 <= start <= stop <= self.num_cloudlets:
+            raise ValueError(
+                f"cloudlet range [{start}, {stop}) outside "
+                f"[0, {self.num_cloudlets})"
+            )
+        offset = start
         chunk_pass = self.cloudlets.open_pass(self.seed, offset)
         while offset < stop:
-            k = min(self.chunk_size, self.num_cloudlets - offset)
+            k = min(self.chunk_size, stop - offset)
             columns = chunk_pass.take(k)
             yield offset, ScenarioArrays(
                 **columns,

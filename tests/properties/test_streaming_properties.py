@@ -22,6 +22,8 @@ failures reproduce locally byte-for-byte.
 
 from __future__ import annotations
 
+import inspect
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -195,6 +197,81 @@ def test_bounded_metrics_are_chunk_size_invariant(name, spec):
             reference = observed
         else:
             assert observed == reference, chunk_size
+
+
+# -- bounded state (tentpole: O(num_vms + chunk_size) assigners) --------------
+
+
+def _reachable_container_lengths(root: object) -> dict[str, int]:
+    """Length of every container reachable from ``root``, keyed by path.
+
+    Walks instance ``__dict__``/``__slots__`` attributes, dict values,
+    list/tuple items, ndarray sizes — and the closure cells of the
+    object's methods, because inner-class assigners keep cross-chunk
+    state in closures rather than attributes (the removed O(n) RBS
+    pre-draw lived in one).  Cycle-safe via an id-visited set.
+    """
+    lengths: dict[str, int] = {}
+    seen: set[int] = set()
+
+    def visit(obj: object, path: str) -> None:
+        if id(obj) in seen:
+            return
+        seen.add(id(obj))
+        if isinstance(obj, np.ndarray):
+            lengths[path] = int(obj.size)
+        elif isinstance(obj, (list, tuple)):
+            lengths[path] = len(obj)
+            for i, item in enumerate(obj):
+                visit(item, f"{path}[{i}]")
+        elif isinstance(obj, dict):
+            lengths[path] = len(obj)
+            for key, value in obj.items():
+                visit(value, f"{path}[{key!r}]")
+        elif not isinstance(obj, (str, bytes, int, float, bool, type(None))):
+            for attr, value in getattr(obj, "__dict__", {}).items():
+                visit(value, f"{path}.{attr}")
+            for cls in type(obj).__mro__:
+                for attr in getattr(cls, "__slots__", ()):
+                    if hasattr(obj, attr):
+                        visit(getattr(obj, attr), f"{path}.{attr}")
+            for name, func in inspect.getmembers(type(obj), inspect.isfunction):
+                for cell in func.__closure__ or ():
+                    visit(cell.cell_contents, f"{path}.{name}<closure>")
+
+    visit(root, "assigner")
+    return lengths
+
+
+@pytest.mark.parametrize("family", ["homogeneous", "heterogeneous"])
+@pytest.mark.parametrize("name", sorted(STREAMING_SCHEDULERS))
+def test_assigner_state_stays_bounded(name, family):
+    """No assigner container may grow with the cloudlets processed.
+
+    Catches the exact O(n) regression class this path was cured of (the
+    RBS full-horizon sample pre-draw, HBO's retained assignment buffer):
+    with ``n = 50 × chunk_size``, any state scaling with processed
+    cloudlets blows far past the O(num_vms + chunk_size) budget below —
+    checked after *every* chunk, so growth is caught at the first chunk
+    that exceeds it, not just at the end.
+    """
+    num_vms, chunk_size = 10, 64
+    num_cloudlets = 50 * chunk_size
+    make = homogeneous_stream if family == "homogeneous" else heterogeneous_stream
+    stream = make(num_vms, num_cloudlets, seed=11, chunk_size=chunk_size)
+    scheduler = make_streaming_scheduler(name)
+    rng = spawn_rng(11, f"scheduler/{stream.name}")
+    assigner = scheduler.open(stream, rng)
+    budget = 2 * chunk_size + 8 * num_vms + 64
+    assert budget < num_cloudlets / 10
+    for offset, chunk in stream:
+        assigner.assign(chunk, offset)
+        oversized = {
+            path: length
+            for path, length in _reachable_container_lengths(assigner).items()
+            if length > budget
+        }
+        assert not oversized, oversized
 
 
 # -- no state leakage (satellite: hbo.py / rbs.py accumulator audit) ----------

@@ -5,10 +5,12 @@ Runs a capped 100,000-cloudlet homogeneous point through every natively
 streaming scheduler and asserts the contract the docs promise:
 
 1. **Memory budget** — process peak RSS stays below the documented
-   budget (default 512 MiB) for the whole sweep.  The streaming path
-   holds O(num_vms + chunk_size) state, so this passes with room to
-   spare; the same point on the in-memory engines allocates O(n)
-   per-cloudlet arrays per run.
+   budget (default 512 MiB) for the whole sweep, asserted per scheduler
+   (so an O(n) buffer sneaking back into *one* assigner fails fast with
+   its name) and once more at the end.  The streaming path holds
+   O(num_vms + chunk_size) state, so this passes with room to spare; the
+   same point on the in-memory engines allocates O(n) per-cloudlet
+   arrays per run.
 2. **Chunk invariance** — every bounded metric (and the per-VM
    accumulator arrays) is bit-identical across chunk sizes.
 3. **Telemetry** — ``stream.chunks`` / ``stream.peak_rss`` gauges are
@@ -89,10 +91,20 @@ def main(argv: list[str] | None = None) -> int:
                 raise AssertionError(f"{name}: vm_finish_times not chunk-invariant")
             if baseline.vm_costs.tobytes() != result.vm_costs.tobytes():
                 raise AssertionError(f"{name}: vm_costs not chunk-invariant")
+            # Per-scheduler gate: ru_maxrss is a process-lifetime high-water
+            # mark, so the first scheduler to blow the budget is the one
+            # named here — an O(n) regression can't hide behind the
+            # whole-sweep check below.
+            if result.peak_rss_bytes > budget_bytes:
+                raise AssertionError(
+                    f"{name}: peak RSS {result.peak_rss_bytes / 2**20:.0f} MiB "
+                    f"exceeds the {args.budget_mib:.0f} MiB budget"
+                )
             print(
                 f"{name:12s} {args.cloudlets} cloudlets in {elapsed:6.2f}s "
                 f"({args.cloudlets / elapsed:12,.0f} cloudlets/s)  "
-                f"makespan={result.makespan:g}"
+                f"makespan={result.makespan:g}  "
+                f"peak RSS {result.peak_rss_bytes / 2**20:.0f} MiB"
             )
             if args.shards:
                 sharded, sh_elapsed = run_one(
@@ -108,6 +120,12 @@ def main(argv: list[str] | None = None) -> int:
                     raise AssertionError(f"{name}: vm_finish_times not shard-invariant")
                 if sharded.vm_costs.tobytes() != result.vm_costs.tobytes():
                     raise AssertionError(f"{name}: vm_costs not shard-invariant")
+                if sharded.peak_rss_bytes > budget_bytes:
+                    raise AssertionError(
+                        f"{name} (--shards {args.shards}): worker peak RSS "
+                        f"{sharded.peak_rss_bytes / 2**20:.0f} MiB exceeds "
+                        f"the {args.budget_mib:.0f} MiB budget"
+                    )
                 merged_peak = max(merged_peak, sharded.peak_rss_bytes)
                 print(
                     f"{'':12s} --shards {args.shards}: {sh_elapsed:6.2f}s, "
