@@ -10,8 +10,12 @@ The paper's four algorithms:
 
 plus related-work baselines and extensions used by the ablation benches:
 Max-Min [4], Min-Min, greedy minimum-completion-time, uniform random,
-priority-based [25], discrete PSO [18], GA [6], and the future-work
-:class:`HybridScheduler` sketched in the paper's conclusion.
+priority-based [25], discrete PSO [18], GA [6], the future-work
+:class:`HybridScheduler` sketched in the paper's conclusion, and the
+optimizer-kernel zoo from PAPERS.md — gravitational search
+(:class:`GravitationalSearchScheduler`), hybrid binary PSOGSA
+(:class:`PsoGsaScheduler`) and cuckoo-assisted symbiotic organisms search
+(:class:`CuckooSosScheduler`).
 
 ``streaming`` provides chunk-at-a-time counterparts (the
 :class:`StreamingScheduler` protocol) for the four paper algorithms,
@@ -32,14 +36,17 @@ from repro.schedulers.classics import (
     MinimumExecutionTimeScheduler,
     OpportunisticLoadBalancingScheduler,
 )
+from repro.schedulers.cuckoo_sos import CuckooSosScheduler
 from repro.schedulers.deadline import DeadlineAwareScheduler
 from repro.schedulers.ga import GeneticAlgorithmScheduler
 from repro.schedulers.greedy import GreedyMinCompletionScheduler
+from repro.schedulers.gsa import GravitationalSearchScheduler
 from repro.schedulers.hbo import HoneyBeeScheduler
 from repro.schedulers.hybrid import HybridObjective, HybridScheduler
 from repro.schedulers.maxmin import MaxMinScheduler, MinMinScheduler
 from repro.schedulers.priority import PriorityCostScheduler
 from repro.schedulers.pso import ParticleSwarmScheduler
+from repro.schedulers.psogsa import PsoGsaScheduler
 from repro.schedulers.random_assign import RandomScheduler
 from repro.schedulers.rbs import RandomBiasedSamplingScheduler
 from repro.schedulers.round_robin import RoundRobinScheduler
@@ -76,6 +83,9 @@ SCHEDULER_REGISTRY: dict[str, type[Scheduler]] = {
         OpportunisticLoadBalancingScheduler,
         SimulatedAnnealingScheduler,
         HybridScheduler,
+        GravitationalSearchScheduler,
+        PsoGsaScheduler,
+        CuckooSosScheduler,
     )
 }
 
@@ -116,6 +126,9 @@ __all__ = [
     "SimulatedAnnealingScheduler",
     "HybridScheduler",
     "HybridObjective",
+    "GravitationalSearchScheduler",
+    "PsoGsaScheduler",
+    "CuckooSosScheduler",
     "SCHEDULER_REGISTRY",
     "PAPER_SCHEDULERS",
     "make_scheduler",

@@ -1,0 +1,242 @@
+"""Gravitational Search Algorithm scheduler.
+
+Related-work extension (Mamalis & Perlitis, arXiv:2311.07004, building on
+Rashedi et al.'s GSA): a population of *agents* moves through the
+continuous space ``[0, num_vms - 1]^num_cloudlets``; an agent's position,
+rounded per component to the nearest integer, is a complete cloudlet→VM
+assignment.  Physics of one iteration:
+
+* **mass from fitness** — agent masses are the min-max normalised
+  makespans ``m_a = (worst - fit_a) / (worst - best)`` (all-equal
+  populations get uniform mass), normalised to sum to one;
+* **force accumulation** — every agent is pulled toward the ``Kbest``
+  fittest agents with force ``G(t) * M_b * (x_b - x_a) / (R_ab + eps)``
+  per dimension, each pair weighted by one uniform draw.  The quadratic
+  pairwise sum is folded into two matrix products (weights × elite
+  positions), so the accumulation is O(p² + p·n) with no (p, p, n)
+  intermediate;
+* **velocity / position update** — ``v = rand ∘ v + a`` with a fresh
+  per-component uniform, then ``x += v`` clipped back into the box;
+  ``G(t) = G0 · exp(-alpha · t / T)`` decays the pull and ``Kbest``
+  shrinks linearly from the whole population to a single elite, moving
+  the swarm from exploration to exploitation.
+
+Fitness is the estimated batch makespan, evaluated for the whole
+discretised population at once by
+:meth:`repro.optim.FitnessKernel.batch_makespans`; the iteration loop,
+incumbent bookkeeping and convergence trace come from
+:class:`repro.optim.IterativeOptimizer`.
+
+Examples
+--------
+Deterministic given ``(constructor args, context)`` — all randomness flows
+through the context's generator:
+
+>>> from repro.schedulers.gsa import GravitationalSearchScheduler
+>>> from repro.schedulers.base import SchedulingContext
+>>> from repro.workloads.homogeneous import homogeneous_scenario
+>>> scenario = homogeneous_scenario(2, 6, seed=0)
+>>> scheduler = GravitationalSearchScheduler(num_agents=4, max_iterations=3)
+>>> a = scheduler.schedule_checked(SchedulingContext.from_scenario(scenario, seed=1))
+>>> b = scheduler.schedule_checked(SchedulingContext.from_scenario(scenario, seed=1))
+>>> bool((a.assignment == b.assignment).all())
+True
+>>> a.assignment.shape == (6,) and set(a.assignment.tolist()) <= {0, 1}
+True
+>>> a.info["iterations"]
+3
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.obs.telemetry import TELEMETRY as _TEL
+from repro.optim import Candidate, FitnessKernel, IterativeOptimizer, MoveOperator
+from repro.schedulers.base import Scheduler, SchedulingContext, SchedulingResult
+
+#: softening constant keeping the force finite at zero distance.
+_EPS = 1e-12
+
+
+def agent_masses(fitness: np.ndarray) -> np.ndarray:
+    """GSA masses of a population: min-max normalised, summing to one.
+
+    Lower makespan → heavier agent.  A population with identical fitness
+    collapses the min-max span; every agent then gets equal mass.
+    """
+    best = float(fitness.min())
+    worst = float(fitness.max())
+    if worst > best:
+        raw = (worst - fitness) / (worst - best)
+    else:
+        raw = np.ones_like(fitness)
+    total = float(raw.sum())
+    if total <= 0:
+        # Only the worst agent(s) remain: give everything uniform mass so
+        # the force field stays defined.
+        return np.full_like(fitness, 1.0 / fitness.shape[0])
+    return raw / total
+
+
+def kbest_size(iteration: int, max_iterations: int, population: int) -> int:
+    """Elite-set size at ``iteration``: linear decay population → 1."""
+    if max_iterations <= 1:
+        return population
+    frac = iteration / (max_iterations - 1)
+    return max(1, int(round(population - (population - 1) * frac)))
+
+
+class _GsaOperator(MoveOperator):
+    """One velocity/position update of the whole agent population per step."""
+
+    def __init__(self, cfg: "GravitationalSearchScheduler", context: SchedulingContext) -> None:
+        self.cfg = cfg
+        self.context = context
+
+    def _discretise(self, positions: np.ndarray) -> np.ndarray:
+        m = self.context.num_vms
+        return np.clip(np.rint(positions), 0, m - 1).astype(np.int64)
+
+    def initialize(self, rng: np.random.Generator) -> Candidate:
+        cfg = self.cfg
+        n, m = self.context.num_cloudlets, self.context.num_vms
+        p = cfg.num_agents
+        self.kernel = FitnessKernel(
+            self.context.arrays, time_model="compute", max_matrix_cells=0
+        )
+        self.positions = rng.uniform(0.0, float(m - 1), size=(p, n))
+        self.velocities = np.zeros((p, n))
+        ints = self._discretise(self.positions)
+        self.fitness = self.kernel.batch_makespans(ints)
+        g = int(np.argmin(self.fitness))
+        return Candidate(ints[g], float(self.fitness[g]), evaluations=p)
+
+    def _acceleration(
+        self, iteration: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Mass-weighted pull toward the ``Kbest`` elite, G(t)-scaled.
+
+        ``a_i = G · Σ_b w_ib · M_b · (x_b - x_i) / (R_ib + eps)`` — the
+        agent's own mass cancels between force and acceleration, and the
+        self-pair contributes nothing (``x_i - x_i = 0``).
+        """
+        cfg = self.cfg
+        X = self.positions
+        p = X.shape[0]
+        G = cfg.g0 * float(np.exp(-cfg.alpha * iteration / cfg.max_iterations))
+        k = kbest_size(iteration, cfg.max_iterations, p) if cfg.elite_decay else p
+        elite = np.argsort(self.fitness, kind="stable")[:k]
+        masses = agent_masses(self.fitness)
+        # Euclidean distances to the elite via the Gram trick.
+        sq = np.einsum("ij,ij->i", X, X)
+        r2 = sq[:, None] + sq[elite][None, :] - 2.0 * (X @ X[elite].T)
+        dist = np.sqrt(np.maximum(r2, 0.0))
+        weights = rng.random((p, k)) * masses[elite][None, :] / (dist + _EPS)
+        return G * (weights @ X[elite] - weights.sum(axis=1)[:, None] * X)
+
+    def step(
+        self,
+        iteration: int,
+        rng: np.random.Generator,
+        incumbent_assignment: np.ndarray | None,
+        incumbent_fitness: float,
+    ) -> Candidate:
+        cfg = self.cfg
+        p, n = self.positions.shape
+        m = self.context.num_vms
+        with _TEL.span("gsa.position_update"):
+            accel = self._acceleration(iteration, rng)
+            self.velocities = rng.random((p, n)) * self.velocities + accel
+            self.positions = np.clip(
+                self.positions + self.velocities, 0.0, float(m - 1)
+            )
+        ints = self._discretise(self.positions)
+        with _TEL.span("gsa.fitness"):
+            self.fitness = self.kernel.batch_makespans(ints)
+        g = int(np.argmin(self.fitness))
+        return Candidate(ints[g], float(self.fitness[g]), evaluations=p)
+
+
+class GravitationalSearchScheduler(Scheduler):
+    """GSA cloudlet scheduler minimising estimated makespan.
+
+    Parameters
+    ----------
+    num_agents:
+        Population size.
+    max_iterations:
+        Velocity/position update rounds.
+    g0:
+        Initial gravitational constant ``G(0)``.
+    alpha:
+        Decay exponent of ``G(t) = G0 · exp(-alpha · t / T)``.
+    elite_decay:
+        Shrink the attracting elite (``Kbest``) linearly from the whole
+        population to one agent; ``False`` keeps every agent attracting
+        throughout (the original GSA ablation).
+    patience:
+        Stop early after this many iterations without improving the
+        incumbent (``None`` disables early stopping).
+    max_evaluations:
+        Optional shared evaluation budget across the run.
+    """
+
+    def __init__(
+        self,
+        num_agents: int = 30,
+        max_iterations: int = 50,
+        g0: float = 1.0,
+        alpha: float = 20.0,
+        elite_decay: bool = True,
+        patience: int | None = None,
+        max_evaluations: int | None = None,
+    ) -> None:
+        if num_agents < 2:
+            raise ValueError(f"num_agents must be >= 2, got {num_agents}")
+        if max_iterations < 1:
+            raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+        if g0 <= 0:
+            raise ValueError(f"g0 must be positive, got {g0}")
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        if patience is not None and patience < 1:
+            raise ValueError(f"patience must be >= 1 or None, got {patience}")
+        if max_evaluations is not None and max_evaluations < 1:
+            raise ValueError(
+                f"max_evaluations must be >= 1 or None, got {max_evaluations}"
+            )
+        self.num_agents = num_agents
+        self.max_iterations = max_iterations
+        self.g0 = g0
+        self.alpha = alpha
+        self.elite_decay = elite_decay
+        self.patience = patience
+        self.max_evaluations = max_evaluations
+
+    @property
+    def name(self) -> str:
+        return "gsa"
+
+    def schedule(self, context: SchedulingContext) -> SchedulingResult:
+        operator = _GsaOperator(self, context)
+        outcome = IterativeOptimizer(
+            operator,
+            max_iterations=self.max_iterations,
+            patience=self.patience,
+            max_evaluations=self.max_evaluations,
+        ).run(context.rng)
+        return SchedulingResult(
+            assignment=outcome.assignment,
+            scheduler_name=self.name,
+            info={
+                "best_makespan_estimate": outcome.fitness,
+                "iterations": outcome.iterations,
+                "evaluations": outcome.evaluations,
+                "stopped": outcome.stopped,
+                "convergence": outcome.trace.as_dict() if outcome.trace else None,
+            },
+        )
+
+
+__all__ = ["GravitationalSearchScheduler", "agent_masses", "kbest_size"]

@@ -1,0 +1,228 @@
+"""Hybrid PSO + gravitational-search (PSOGSA) scheduler.
+
+Related-work extension (Alnusairi, Shahin & Daadaa, arXiv:1806.00329,
+after Mirjalili & Hashim's PSOGSA): the exploitation memory of PSO is
+grafted onto the exploration physics of GSA.  Each particle keeps a
+continuous position in ``[0, num_vms - 1]^num_cloudlets`` (rounded per
+component to a VM index for evaluation) and blends two pulls in one
+velocity update::
+
+    v = rand ∘ w·v + c1·rand ∘ a_gsa + c2·rand ∘ (gbest - x)
+
+where ``a_gsa`` is the GSA mass-weighted force accumulation over the
+whole population (see :mod:`repro.schedulers.gsa` — the same folded
+matrix-product form, no (p, p, n) intermediate) and ``gbest`` is the
+driver's incumbent, i.e. the social memory GSA itself lacks.  The cited
+work is *binary* PSOGSA: positions are bit strings and a transfer
+function maps velocity magnitude to a flip probability.  This integer
+encoding keeps that discretisation pressure as a per-component
+re-randomisation with probability ``mutation_rate`` (the same device the
+discrete PSO baseline uses), which plays the bit-flip's role of keeping
+the swarm from collapsing onto ``gbest``.
+
+Fitness is the estimated batch makespan via
+:meth:`repro.optim.FitnessKernel.batch_makespans`; the loop, incumbent
+bookkeeping and convergence trace come from
+:class:`repro.optim.IterativeOptimizer`.
+
+Examples
+--------
+>>> from repro.schedulers.psogsa import PsoGsaScheduler
+>>> from repro.schedulers.base import SchedulingContext
+>>> from repro.workloads.heterogeneous import heterogeneous_scenario
+>>> scenario = heterogeneous_scenario(4, 8, seed=0)
+>>> scheduler = PsoGsaScheduler(num_particles=4, max_iterations=3)
+>>> a = scheduler.schedule_checked(SchedulingContext.from_scenario(scenario, seed=5))
+>>> b = scheduler.schedule_checked(SchedulingContext.from_scenario(scenario, seed=5))
+>>> bool((a.assignment == b.assignment).all())
+True
+>>> a.assignment.shape == (8,) and int(a.assignment.max()) <= 3
+True
+>>> a.info["stopped"]
+'max_iterations'
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.obs.telemetry import TELEMETRY as _TEL
+from repro.optim import Candidate, FitnessKernel, IterativeOptimizer, MoveOperator
+from repro.schedulers.base import Scheduler, SchedulingContext, SchedulingResult
+from repro.schedulers.gsa import _EPS, agent_masses
+
+
+class _PsoGsaOperator(MoveOperator):
+    """One blended velocity/position update of the whole swarm per step."""
+
+    def __init__(self, cfg: "PsoGsaScheduler", context: SchedulingContext) -> None:
+        self.cfg = cfg
+        self.context = context
+
+    def _discretise(self, positions: np.ndarray) -> np.ndarray:
+        m = self.context.num_vms
+        return np.clip(np.rint(positions), 0, m - 1).astype(np.int64)
+
+    def initialize(self, rng: np.random.Generator) -> Candidate:
+        cfg = self.cfg
+        n, m = self.context.num_cloudlets, self.context.num_vms
+        p = cfg.num_particles
+        self.kernel = FitnessKernel(
+            self.context.arrays, time_model="compute", max_matrix_cells=0
+        )
+        self.positions = rng.uniform(0.0, float(m - 1), size=(p, n))
+        self.velocities = np.zeros((p, n))
+        ints = self._discretise(self.positions)
+        self.fitness = self.kernel.batch_makespans(ints)
+        g = int(np.argmin(self.fitness))
+        return Candidate(ints[g], float(self.fitness[g]), evaluations=p)
+
+    def _gsa_acceleration(self, iteration: int, rng: np.random.Generator) -> np.ndarray:
+        """Whole-population GSA pull (PSOGSA uses no elite shrinkage)."""
+        cfg = self.cfg
+        X = self.positions
+        p = X.shape[0]
+        G = cfg.g0 * float(np.exp(-cfg.alpha * iteration / cfg.max_iterations))
+        masses = agent_masses(self.fitness)
+        sq = np.einsum("ij,ij->i", X, X)
+        r2 = sq[:, None] + sq[None, :] - 2.0 * (X @ X.T)
+        dist = np.sqrt(np.maximum(r2, 0.0))
+        weights = rng.random((p, p)) * masses[None, :] / (dist + _EPS)
+        return G * (weights @ X - weights.sum(axis=1)[:, None] * X)
+
+    def step(
+        self,
+        iteration: int,
+        rng: np.random.Generator,
+        incumbent_assignment: np.ndarray | None,
+        incumbent_fitness: float,
+    ) -> Candidate:
+        cfg = self.cfg
+        p, n = self.positions.shape
+        m = self.context.num_vms
+        with _TEL.span("psogsa.position_update"):
+            accel = self._gsa_acceleration(iteration, rng)
+            gbest = np.asarray(incumbent_assignment, dtype=np.float64)
+            self.velocities = (
+                rng.random((p, n)) * cfg.inertia * self.velocities
+                + cfg.accel_coeff * rng.random((p, n)) * accel
+                + cfg.social_coeff
+                * rng.random((p, n))
+                * (gbest[None, :] - self.positions)
+            )
+            self.positions = np.clip(
+                self.positions + self.velocities, 0.0, float(m - 1)
+            )
+            mutate = rng.random((p, n)) < cfg.mutation_rate
+            if mutate.any():
+                self.positions = np.where(
+                    mutate,
+                    rng.uniform(0.0, float(m - 1), size=(p, n)),
+                    self.positions,
+                )
+        ints = self._discretise(self.positions)
+        with _TEL.span("psogsa.fitness"):
+            self.fitness = self.kernel.batch_makespans(ints)
+        g = int(np.argmin(self.fitness))
+        return Candidate(ints[g], float(self.fitness[g]), evaluations=p)
+
+
+class PsoGsaScheduler(Scheduler):
+    """Hybrid binary-PSOGSA cloudlet scheduler (integer encoding).
+
+    Parameters
+    ----------
+    num_particles:
+        Swarm size.
+    max_iterations:
+        Velocity/position update rounds.
+    inertia:
+        Weight of the previous velocity (``w``).
+    accel_coeff:
+        Weight of the GSA acceleration term (``c1``).
+    social_coeff:
+        Weight of the pull toward the incumbent/global best (``c2``).
+    g0, alpha:
+        Gravitational constant scale and decay exponent of the GSA term.
+    mutation_rate:
+        Per-component probability of a uniform re-randomisation — the
+        integer-encoding stand-in for the binary transfer function.
+    patience:
+        Stop early after this many iterations without improving the
+        incumbent (``None`` disables early stopping).
+    max_evaluations:
+        Optional shared evaluation budget across the run.
+    """
+
+    def __init__(
+        self,
+        num_particles: int = 30,
+        max_iterations: int = 50,
+        inertia: float = 0.6,
+        accel_coeff: float = 1.0,
+        social_coeff: float = 1.5,
+        g0: float = 1.0,
+        alpha: float = 20.0,
+        mutation_rate: float = 0.02,
+        patience: int | None = None,
+        max_evaluations: int | None = None,
+    ) -> None:
+        if num_particles < 2:
+            raise ValueError(f"num_particles must be >= 2, got {num_particles}")
+        if max_iterations < 1:
+            raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+        if not 0 <= inertia <= 1:
+            raise ValueError(f"inertia must be in [0, 1], got {inertia}")
+        if accel_coeff < 0 or social_coeff < 0:
+            raise ValueError("accel_coeff and social_coeff must be non-negative")
+        if accel_coeff + social_coeff == 0:
+            raise ValueError("accel_coeff + social_coeff must be positive")
+        if g0 <= 0:
+            raise ValueError(f"g0 must be positive, got {g0}")
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        if not 0 <= mutation_rate <= 1:
+            raise ValueError(f"mutation_rate must be in [0, 1], got {mutation_rate}")
+        if patience is not None and patience < 1:
+            raise ValueError(f"patience must be >= 1 or None, got {patience}")
+        if max_evaluations is not None and max_evaluations < 1:
+            raise ValueError(
+                f"max_evaluations must be >= 1 or None, got {max_evaluations}"
+            )
+        self.num_particles = num_particles
+        self.max_iterations = max_iterations
+        self.inertia = inertia
+        self.accel_coeff = accel_coeff
+        self.social_coeff = social_coeff
+        self.g0 = g0
+        self.alpha = alpha
+        self.mutation_rate = mutation_rate
+        self.patience = patience
+        self.max_evaluations = max_evaluations
+
+    @property
+    def name(self) -> str:
+        return "psogsa"
+
+    def schedule(self, context: SchedulingContext) -> SchedulingResult:
+        operator = _PsoGsaOperator(self, context)
+        outcome = IterativeOptimizer(
+            operator,
+            max_iterations=self.max_iterations,
+            patience=self.patience,
+            max_evaluations=self.max_evaluations,
+        ).run(context.rng)
+        return SchedulingResult(
+            assignment=outcome.assignment,
+            scheduler_name=self.name,
+            info={
+                "best_makespan_estimate": outcome.fitness,
+                "iterations": outcome.iterations,
+                "evaluations": outcome.evaluations,
+                "stopped": outcome.stopped,
+                "convergence": outcome.trace.as_dict() if outcome.trace else None,
+            },
+        )
+
+
+__all__ = ["PsoGsaScheduler"]

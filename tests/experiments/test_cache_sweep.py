@@ -148,6 +148,49 @@ class TestParallelSweepCache:
             TELEMETRY.disable()
 
 
+class TestZooSweepCache:
+    """Optimizer-kernel zoo cells replay byte-equal from the cache.
+
+    Differential round-trip: a cold sweep populates the cache, a warm
+    sweep must replay it byte-for-byte (wall clock included — hits ship
+    the cold run's measured scheduling_time), both serially and through
+    the spawn-pool transport.
+    """
+
+    ZOO = {
+        "gsa": SchedulerFactory("gsa", kwargs=(("num_agents", 4), ("max_iterations", 3))),
+        "psogsa": SchedulerFactory("psogsa", kwargs=(("num_particles", 4), ("max_iterations", 3))),
+        "cuckoo-sos": SchedulerFactory("cuckoo-sos", kwargs=(("ecosystem_size", 4), ("max_iterations", 2))),
+    }
+
+    SWEEP = dict(
+        scenario_factory=factory,
+        scheduler_factories=ZOO,
+        vm_counts=(4, 6),
+        num_cloudlets=20,
+        seeds=(0, 1),
+        engine="fast",
+    )
+
+    def test_serial_cold_warm_round_trip(self, cache):
+        cold = run_sweep(**self.SWEEP, cache=cache)
+        warm = run_sweep(**self.SWEEP, cache=cache)
+        assert warm == cold
+        assert cache.misses == len(cold) == 12
+        assert cache.hits == len(cold)
+
+    def test_parallel_cold_warm_round_trip(self, cache):
+        cold = run_sweep(**self.SWEEP, cache=cache, workers=2)
+        assert len(cache) == len(cold) == 12
+        warm = run_sweep(**self.SWEEP, cache=cache, workers=2)
+        assert warm == cold
+
+    def test_parallel_warm_replays_serial_cold(self, cache):
+        cold = run_sweep(**self.SWEEP, cache=cache)
+        warm = run_sweep(**self.SWEEP, cache=cache, workers=2)
+        assert warm == cold
+
+
 class TestOnlineEngineCache:
     """Dynamic-surface cells (timeline/control) key and replay correctly."""
 

@@ -27,6 +27,9 @@ LIGHT_KWARGS = {
     "ga": {"population_size": 8, "generations": 5},
     "annealing": {"iterations": 500},
     "hybrid": {},
+    "gsa": {"num_agents": 6, "max_iterations": 5},
+    "psogsa": {"num_particles": 6, "max_iterations": 5},
+    "cuckoo-sos": {"ecosystem_size": 6, "max_iterations": 4},
 }
 
 GOLDEN_ASSIGNMENTS = {
@@ -34,22 +37,34 @@ GOLDEN_ASSIGNMENTS = {
     ("hetero", "annealing", 123): "62414565499793106781611342676604234761840154495203969205278847978567897947459771",
     ("hetero", "antcolony", 7): "47569663633437566567232043937466134944370579523657460506109959569936445534935305",
     ("hetero", "antcolony", 123): "63674524459436143657195693730475663668251305233376369943565304065377549740456450",
+    ("hetero", "cuckoo-sos", 7): "29023649767479248693365472565861916036990552160540230474613018907991552571875954",
+    ("hetero", "cuckoo-sos", 123): "06673641566210566625009990697843893171755935428406792494907167097916595049839459",
     ("hetero", "ga", 7): "77830975655770718688195557995448907190063776017725795523964318235363037515862525",
     ("hetero", "ga", 123): "76873994235362394023011844943668163708794663956520337637946260540148454121817263",
+    ("hetero", "gsa", 7): "94245454235037246191278632360174214835935655388763630355812881067331328266037640",
+    ("hetero", "gsa", 123): "10275519010866413449718270756705751786327755179735934673297773638711377333285604",
     ("hetero", "hybrid", 7): "05149312433395643753653635175660349977473489253709577071950301395657067205466656",
     ("hetero", "hybrid", 123): "96999643595649067091546256369416459306364458566143081302173201694354762440710325",
     ("hetero", "pso", 7): "57530053908800915988614556925474137100063776017728133224604518733676451435866725",
     ("hetero", "pso", 123): "23191138963644096071257706475433731262369895691132301795857890641635719989621216",
+    ("hetero", "psogsa", 7): "76056663332034446181148833543173436625836655445584636446506983747400309165039860",
+    ("hetero", "psogsa", 123): "10566549333726618559606060755935651604479673099715933643254173539651474144885634",
     ("homog", "annealing", 7): "0123456701234567012345670123456701234567",
     ("homog", "annealing", 123): "0123456701234567012345670123456701234567",
     ("homog", "antcolony", 7): "7023473631462520405274260555776347147052",
     ("homog", "antcolony", 123): "7503406216264421000362502147556451253115",
+    ("homog", "cuckoo-sos", 7): "6605650436414447537055162704762107311270",
+    ("homog", "cuckoo-sos", 123): "1102173642114024373406337603751452245200",
     ("homog", "ga", 7): "0123456701234567012345670123456701234567",
     ("homog", "ga", 123): "0123456701234567012345670123456701234567",
+    ("homog", "gsa", 7): "2214456750616473702376250661223063314275",
+    ("homog", "gsa", 123): "2633245550254315143676542431527106732406",
     ("homog", "hybrid", 7): "0123456701234567012345670123456701234567",
     ("homog", "hybrid", 123): "0123456701234567012345670123456701234567",
     ("homog", "pso", 7): "0276501424413307477165206215742021734660",
     ("homog", "pso", 123): "2104271302113024373476277603377452245604",
+    ("homog", "psogsa", 7): "2104446750616473702376250761223163314273",
+    ("homog", "psogsa", 123): "2613245550254305043776542431627106732406",
 }
 
 # ACO variant coverage: every construction/pheromone/tabu code path.

@@ -24,6 +24,9 @@ LIGHT_KWARGS = {
     "pso": {"num_particles": 6, "max_iterations": 5},
     "ga": {"population_size": 8, "generations": 5},
     "annealing": {"iterations": 500},
+    "gsa": {"num_agents": 6, "max_iterations": 5},
+    "psogsa": {"num_particles": 6, "max_iterations": 5},
+    "cuckoo-sos": {"ecosystem_size": 6, "max_iterations": 4},
 }
 
 #: (makespan, time_imbalance, total_cost) on heterogeneous(10, 80, seed=123).
@@ -31,9 +34,11 @@ HETERO_GOLDEN = {
     "annealing": (52.15350448252469, 3.742667958332733, 4923.243207509197),
     "antcolony": (38.01593765452112, 3.299289293698334, 4796.113998031495),
     "basetest": (103.44418118571517, 4.9683915979078535, 5109.045361441469),
+    "cuckoo-sos": (54.84432371158597, 3.7027167549792117, 4889.162757965149),
     "deadline-edf": (35.701117770885155, 4.644589136077443, 4816.779998154683),
     "ga": (61.27707944960118, 4.680091883497093, 4932.6466858354),
     "greedy-mct": (35.2709971763677, 2.102770507457777, 4769.107790147569),
+    "gsa": (75.98490736009754, 4.211798715749159, 5178.55421228116),
     "honeybee": (76.76817001566086, 5.815640807184024, 4636.7188195093195),
     "hybrid": (41.880845162155275, 5.679948893478283, 4822.731066670206),
     "maxmin": (32.47613958963537, 4.262682007047077, 4860.379679393935),
@@ -42,6 +47,7 @@ HETERO_GOLDEN = {
     "olb": (40.74789455928223, 6.529358371165535, 4883.333984213054),
     "priority-cost": (41.50944846605594, 1.861998595030674, 4750.785719927772),
     "pso": (73.38786098799302, 3.93268332402028, 5069.02654335025),
+    "psogsa": (41.73832584871123, 5.019606094739707, 4865.599819215504),
     "random": (98.24111293626889, 4.117580357117303, 5098.287576960826),
     "rbs": (107.54796852181991, 4.835339169658334, 5151.058261666766),
 }

@@ -66,6 +66,9 @@ LIGHT_KWARGS: dict[str, dict] = {
     "pso": {"num_particles": 4, "max_iterations": 3},
     "ga": {"population_size": 6, "generations": 3},
     "annealing": {"iterations": 30},
+    "gsa": {"num_agents": 4, "max_iterations": 3},
+    "psogsa": {"num_particles": 4, "max_iterations": 3},
+    "cuckoo-sos": {"ecosystem_size": 4, "max_iterations": 2},
 }
 
 

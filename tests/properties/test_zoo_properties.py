@@ -1,0 +1,138 @@
+"""Property suite for the optimizer-kernel scheduler zoo.
+
+GSA, PSOGSA and cuckoo-SOS all ride on :mod:`repro.optim`'s
+``FitnessKernel`` + ``IterativeOptimizer``, so they inherit one shared
+contract this suite pins across random scenario geometries:
+
+* **validity** — every assignment is a full ``int`` vector in
+  ``[0, num_vms)``: no cloudlet dropped, none routed off-fleet;
+* **MI conservation** — grouping cloudlet lengths by assigned VM loses
+  no work: per-VM MI totals sum bit-exactly to the scenario total;
+* **kernel consistency + monotone trace** — the reported
+  ``best_makespan_estimate`` is exactly what the fitness kernel computes
+  for the returned assignment, and the convergence trace (driven by the
+  optimizer's strict-``<`` incumbent rule) never increases;
+* **sweep transport** — ``run_sweep(workers=2)`` ships the zoo through
+  pickled :class:`~repro.experiments.scenarios.SchedulerFactory` spawn
+  workers and must reproduce the serial grid bit-for-bit (wall clock
+  excepted);
+* **statelessness** — a reused scheduler instance replays a fresh
+  instance exactly; nothing leaks between ``schedule`` calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.runner import run_sweep
+from repro.experiments.scenarios import SchedulerFactory
+from repro.optim import FitnessKernel
+from repro.schedulers import make_scheduler
+from repro.schedulers.base import SchedulingContext
+from repro.workloads.heterogeneous import heterogeneous_scenario
+
+COMMON = settings(max_examples=10, deadline=None, derandomize=True)
+
+#: name -> picklable kwargs tuple; tiny populations keep examples fast
+#: while still exercising every interaction phase.
+ZOO_KWARGS = {
+    "gsa": (("num_agents", 4), ("max_iterations", 3)),
+    "psogsa": (("num_particles", 4), ("max_iterations", 3)),
+    "cuckoo-sos": (("ecosystem_size", 4), ("max_iterations", 2)),
+}
+
+zoo_names = pytest.mark.parametrize("name", sorted(ZOO_KWARGS))
+
+#: (num_vms, num_cloudlets, seed) — VM floor of 4 satisfies the
+#: heterogeneous generator's datacenter-count requirement.
+points = st.tuples(
+    st.integers(4, 12), st.integers(1, 60), st.integers(0, 2**16)
+)
+
+
+def _hetero(num_vms, num_cloudlets, seed):
+    """Module-level scenario factory — picklable for spawn-pool sweeps."""
+    return heterogeneous_scenario(num_vms, num_cloudlets, seed=seed)
+
+
+def _schedule(name: str, num_vms: int, num_cloudlets: int, seed: int):
+    scenario = heterogeneous_scenario(num_vms, num_cloudlets, seed=seed)
+    context = SchedulingContext.from_scenario(scenario, seed=seed)
+    scheduler = make_scheduler(name, **dict(ZOO_KWARGS[name]))
+    return scheduler.schedule_checked(context), context
+
+
+@zoo_names
+@COMMON
+@given(point=points)
+def test_assignment_valid_and_mi_conserved(name, point):
+    num_vms, num_cloudlets, seed = point
+    result, context = _schedule(name, num_vms, num_cloudlets, seed)
+    assignment = result.assignment
+    assert assignment.shape == (num_cloudlets,)
+    assert np.issubdtype(assignment.dtype, np.integer)
+    assert int(assignment.min()) >= 0
+    assert int(assignment.max()) < num_vms
+    lengths = context.arrays.cloudlet_length
+    per_vm = np.bincount(assignment, weights=lengths, minlength=num_vms)
+    assert per_vm.shape == (num_vms,)
+    # Conservation up to float64 summation-order noise: a dropped or
+    # duplicated cloudlet shifts the total by a whole length, orders of
+    # magnitude beyond this tolerance.
+    assert float(per_vm.sum()) == pytest.approx(float(lengths.sum()), rel=1e-12)
+
+
+@zoo_names
+@COMMON
+@given(point=points)
+def test_kernel_consistency_and_monotone_trace(name, point):
+    num_vms, num_cloudlets, seed = point
+    result, context = _schedule(name, num_vms, num_cloudlets, seed)
+    kernel = FitnessKernel(context.arrays, time_model="compute", max_matrix_cells=0)
+    recomputed = float(kernel.batch_makespans(result.assignment[None, :])[0])
+    assert result.info["best_makespan_estimate"] == recomputed
+    trace = result.info["convergence"]
+    fits = trace["best_fitness"]
+    assert fits[-1] == recomputed
+    # Strict-< incumbent rule => best-so-far never increases.
+    assert all(later <= earlier for earlier, later in zip(fits, fits[1:])), fits
+
+
+@zoo_names
+def test_parallel_sweep_bit_equal_to_serial(name):
+    sweep = dict(
+        scenario_factory=_hetero,
+        scheduler_factories={name: SchedulerFactory(name, kwargs=ZOO_KWARGS[name])},
+        vm_counts=(4, 6),
+        num_cloudlets=20,
+        seeds=(0, 1),
+        engine="fast",
+    )
+    serial = run_sweep(**sweep)
+    parallel = run_sweep(**sweep, workers=2)
+    assert len(parallel) == len(serial) == 4
+    for a, b in zip(serial, parallel):
+        # Everything but the wall clock must match bit-for-bit.
+        assert (a.scheduler, a.num_vms, a.num_cloudlets, a.seed) == (
+            b.scheduler, b.num_vms, b.num_cloudlets, b.seed
+        )
+        assert a.makespan == b.makespan
+        assert a.time_imbalance == b.time_imbalance
+        assert a.total_cost == b.total_cost
+        assert a.events_processed == b.events_processed
+
+
+@zoo_names
+def test_fresh_instance_equals_reused_instance(name):
+    scenario = heterogeneous_scenario(6, 30, seed=11)
+    reused = make_scheduler(name, **dict(ZOO_KWARGS[name]))
+    first = reused.schedule_checked(SchedulingContext.from_scenario(scenario, seed=3))
+    second = reused.schedule_checked(SchedulingContext.from_scenario(scenario, seed=3))
+    fresh = make_scheduler(name, **dict(ZOO_KWARGS[name])).schedule_checked(
+        SchedulingContext.from_scenario(scenario, seed=3)
+    )
+    assert first.assignment.tobytes() == second.assignment.tobytes()
+    assert first.assignment.tobytes() == fresh.assignment.tobytes()

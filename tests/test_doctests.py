@@ -25,6 +25,9 @@ MODULES_WITH_EXAMPLES = [
     "repro.workloads.synthetic",
     "repro.workloads.streaming",
     "repro.schedulers.streaming",
+    "repro.schedulers.gsa",
+    "repro.schedulers.psogsa",
+    "repro.schedulers.cuckoo_sos",
     "repro.serve",
     "repro.serve.protocol",
     "repro.serve.service",

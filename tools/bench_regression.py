@@ -2,26 +2,36 @@
 """Benchmark regression gauntlet: fresh run vs the committed record.
 
 Seeds ROADMAP item 4.  Re-runs the paper-scale streaming sweep at a
-reduced scale (default 2M cloudlets, serial-only, best of two rounds)
+reduced scale (default 2M cloudlets, serial-only, best of three rounds)
 and diffs each scheduler's throughput and peak RSS against the
 committed 10M rows in ``BENCH_paperscale.json``:
 
-* **throughput** — fail when the fresh cloudlets/s drops more than 25%
+* **throughput** — fail when the fresh cloudlets/s drops more than 40%
   below the committed ``serial_throughput_cloudlets_per_s``;
 * **peak RSS** — fail when the fresh high-water mark grows more than 10%
   above the committed ``serial_peak_rss_mb``.
 
+The throughput tolerance is wide because the comparison is *absolute*
+against rows recorded on a reference container: a shared runner is
+legitimately 20–30% slower run to run, and algorithmic drift is already
+caught exactly by the decision-hash gauntlet (``tools/gauntlet.py``) —
+this gate exists to catch order-of-magnitude perf regressions (a
+dropped vectorisation, an accidental O(n) buffer), which blow far past
+40%.
+
 Both columns are scale-invariant on the streaming path (per-chunk work
 is flat and assigner state is O(num_vms + chunk_size)), which is what
-makes a 2M run a fair proxy for the committed 10M baseline.  Timing on
-shared CI runners is noisy, so the CI step runs **non-blocking**
-(``continue-on-error``) — a tripwire that flags drift in the logs, not
-a merge gate; run locally before re-recording the benchmark.
+makes a 2M run a fair proxy for the committed 10M baseline.  The CI
+step is **blocking**: every row prints scheduler, metric, committed vs
+fresh, and any breached tolerance fails the job.  The tolerances are
+generous precisely so shared-runner noise stays inside them — a trip
+means a real regression (or an intentional change: re-record
+``BENCH_paperscale.json`` locally and commit it with the cause).
 
 Usage::
 
     PYTHONPATH=src python tools/bench_regression.py [--cloudlets 2000000]
-        [--throughput-tolerance 0.25] [--rss-tolerance 0.10]
+        [--throughput-tolerance 0.40] [--rss-tolerance 0.10]
 """
 
 from __future__ import annotations
@@ -53,7 +63,7 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument(
         "--throughput-tolerance",
         type=float,
-        default=0.25,
+        default=0.40,
         help="max fractional throughput drop vs the committed rows",
     )
     parser.add_argument(
@@ -70,9 +80,11 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     baseline = {row["scheduler"]: row for row in point["rows"]}
 
-    # Best-of-2: the committed rows are best-of-2 too, and a single cold
-    # round would charge first-run warmup against the fast schedulers.
-    fresh = sweep_rows(args.cloudlets, shards=None, rounds=2)
+    # Best-of-3 (the committed rows are best-of-2): one extra round on
+    # the cheap reduced-scale run keeps a noisy-neighbour round from
+    # tripping the now-blocking gate, and a single cold round would
+    # charge first-run warmup against the fast schedulers.
+    fresh = sweep_rows(args.cloudlets, shards=None, rounds=3)
     failures: list[str] = []
     for row in fresh:
         name = row["scheduler"]
